@@ -1,0 +1,53 @@
+"""Batched-serving bench (extension): cross-query dedup page savings.
+
+The paper's §8.2 notes that serving multiple query batches together
+creates duplication; the BatchServer exploits it.  This bench quantifies
+pages saved versus unbatched serving at several batch sizes.
+"""
+
+from conftest import publish
+
+from repro.experiments.common import get_split_trace, layout_for, make_engine
+from repro.experiments.report import ExperimentResult
+from repro.serving import BatchServer, batching_summary
+
+
+def run_batching(scale: str, dataset: str = "criteo", ratio: float = 0.4):
+    _, live = get_split_trace(dataset, scale)
+    queries = list(live)[:800]
+    layout = layout_for(dataset, "maxembed", ratio, scale)
+    result = ExperimentResult(
+        exp_id="batching",
+        title=f"Batched serving: cross-query dedup ({dataset}, r={ratio})",
+        headers=["batch_size", "pages_read", "dedup_ratio", "qps"],
+        notes=(
+            "larger batches remove more duplicate keys and read fewer "
+            "pages per served query"
+        ),
+    )
+    for batch_size in (1, 4, 16, 64):
+        engine = make_engine(layout, cache_ratio=0.0, index_limit=5)
+        results = BatchServer(engine).serve_stream(queries, batch_size)
+        summary = batching_summary(results)
+        result.rows.append(
+            [
+                batch_size,
+                summary["pages_read"],
+                round(summary["dedup_ratio"], 4),
+                round(summary["throughput_qps"]),
+            ]
+        )
+    return result
+
+
+def test_batching(benchmark, scale):
+    result = benchmark.pedantic(
+        run_batching, kwargs=dict(scale=scale), rounds=1, iterations=1
+    )
+    publish(result)
+    pages = result.column("pages_read")
+    dedup = result.column("dedup_ratio")
+    # Pages read fall monotonically with batch size; dedup ratio rises.
+    assert pages == sorted(pages, reverse=True)
+    assert dedup == sorted(dedup)
+    assert pages[-1] < pages[0]

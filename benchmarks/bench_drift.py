@@ -1,0 +1,29 @@
+"""Drift bench (extension): placement staleness and rebuild recovery."""
+
+from conftest import publish
+
+from repro.experiments import drift
+
+
+def test_drift(benchmark, scale, max_queries):
+    result = benchmark.pedantic(
+        drift.run,
+        kwargs=dict(scale=scale, max_queries=max_queries),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+    ratios = [row[3] for row in result.rows]
+    # MaxEmbed's edge over SHP narrows monotonically-ish with drift...
+    assert ratios[0] > 1.02, "no initial MaxEmbed edge"
+    assert ratios[-1] < ratios[0], "drift did not erode the edge"
+    # ...the incremental refresh recovers part of it at full drift, and
+    # the full rebuild recovers the most.
+    full = result.rows[-1]
+    stale_bw, refreshed_bw, rebuilt_bw = full[2], full[4], full[5]
+    assert refreshed_bw > stale_bw, "refresh failed to help on drift"
+    assert rebuilt_bw > stale_bw, "rebuild failed to recover the gain"
+    assert rebuilt_bw >= refreshed_bw * 0.95
+    # The stale and rebuilt placements cross somewhere in between.
+    fresh = result.rows[0]
+    assert fresh[2] > fresh[5], "rebuilt-on-drift should lose on fresh traffic"

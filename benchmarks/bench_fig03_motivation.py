@@ -1,0 +1,22 @@
+"""Figure 3 bench: effective bandwidth, vanilla vs SHP, all five datasets."""
+
+from conftest import publish
+
+from repro.experiments import fig03_motivation
+
+
+def test_fig03_motivation(benchmark, scale, max_queries):
+    result = benchmark.pedantic(
+        fig03_motivation.run,
+        kwargs=dict(scale=scale, max_queries=max_queries),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+    # Paper shape: SHP beats vanilla on every dataset, but effective
+    # bandwidth remains a small fraction of the device.
+    for row in result.rows:
+        dataset, vanilla, shp, improvement = row
+        assert shp > vanilla, f"SHP lost to vanilla on {dataset}"
+        assert improvement >= 1.0
+        assert shp < 0.5, f"effective bandwidth implausibly high on {dataset}"

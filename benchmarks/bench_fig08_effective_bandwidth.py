@@ -1,0 +1,22 @@
+"""Figure 8 bench: normalized effective bandwidth vs replication ratio."""
+
+from conftest import publish
+
+from repro.experiments import fig08_effective_bandwidth
+
+
+def test_fig08_effective_bandwidth(benchmark, scale, max_queries):
+    result = benchmark.pedantic(
+        fig08_effective_bandwidth.run,
+        kwargs=dict(scale=scale, max_queries=max_queries),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+    # Paper shape: MaxEmbed > SHP at every ratio on every dataset, and the
+    # r=80% column dominates the r=10% column.
+    for row in result.rows:
+        dataset = row[0]
+        shp, me10, me80 = row[1], row[2], row[5]
+        assert me10 > shp, f"ME(r=10%) lost to SHP on {dataset}"
+        assert me80 > me10, f"no growth from r=10% to r=80% on {dataset}"

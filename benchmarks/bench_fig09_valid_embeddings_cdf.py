@@ -1,0 +1,21 @@
+"""Figure 9 bench: CDF of valid embeddings per read (Criteo, no cache)."""
+
+from conftest import publish
+
+from repro.experiments import fig09_valid_embeddings
+
+
+def test_fig09_valid_embeddings_cdf(benchmark, scale, max_queries):
+    result = benchmark.pedantic(
+        fig09_valid_embeddings.run,
+        kwargs=dict(scale=scale, max_queries=max_queries),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+    shp, maxembed = result.rows
+    # Paper shape: the one-valid-embedding mass shrinks and the mean valid
+    # count per read rises (paper: 3.59 -> 4.79 on its testbed).  The CDF
+    # check carries a small tolerance for short query caps.
+    assert maxembed[1] > shp[1]
+    assert maxembed[2] <= shp[2] + 0.02

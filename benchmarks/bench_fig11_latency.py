@@ -1,0 +1,21 @@
+"""Figure 11 bench: end-to-end latency vs replication ratio (10% cache)."""
+
+from conftest import publish
+
+from repro.experiments import fig11_latency
+
+
+def test_fig11_latency(benchmark, scale, max_queries):
+    result = benchmark.pedantic(
+        fig11_latency.run,
+        kwargs=dict(scale=scale, max_queries=max_queries),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+    # Paper shape: latency drops below the SHP baseline at every ratio
+    # (paper: -2 to -7.4% at r=10%, -10 to -14.8% at r=80%).
+    for row in result.rows:
+        dataset = row[0]
+        for column, value in zip(result.headers[2:], row[2:]):
+            assert value < 1.0, f"{column} latency above SHP on {dataset}"

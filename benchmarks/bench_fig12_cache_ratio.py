@@ -1,0 +1,36 @@
+"""Figure 12 bench: throughput under different cache ratios."""
+
+from conftest import publish
+
+from repro.experiments import fig12_cache_ratio
+
+
+def test_fig12_cache_ratio(benchmark, scale, max_queries):
+    result = benchmark.pedantic(
+        fig12_cache_ratio.run,
+        kwargs=dict(scale=scale, max_queries=max_queries),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+    # Paper shape: (1) throughput rises (then saturates) with cache size;
+    # (2) MaxEmbed stays above SHP at every cache ratio.
+    by_dataset = {}
+    for row in result.rows:
+        by_dataset.setdefault(row[0], {})[row[1]] = row[2:]
+    for dataset, series in by_dataset.items():
+        shp = series["shp"]
+        assert shp[-1] > shp[0] * 0.9, f"no cache benefit on {dataset}"
+        for label, values in series.items():
+            if label == "shp":
+                continue
+            # MaxEmbed never loses to SHP; at large caches the two tie
+            # exactly (the cache absorbs everything, the SSD is idle).
+            for me, base in zip(values, shp):
+                assert me >= base * 0.995, (
+                    f"{label} lost to SHP on {dataset}: {me} < {base}"
+                )
+            # ...and at the smallest cache the replication win is real.
+            assert values[0] > shp[0], (
+                f"{label} shows no small-cache gain on {dataset}"
+            )

@@ -1,0 +1,23 @@
+"""Figure 13 bench: throughput with no DRAM cache + pure-DRAM reference."""
+
+from conftest import publish
+
+from repro.experiments import fig13_no_cache
+
+
+def test_fig13_no_cache(benchmark, scale, max_queries):
+    result = benchmark.pedantic(
+        fig13_no_cache.run,
+        kwargs=dict(scale=scale, max_queries=max_queries),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+    # Paper shape: cacheless throughput grows with r (1.08-1.31x already at
+    # a small r), and a pure-DRAM system dominates by a wide margin.
+    for row in result.rows:
+        dataset = row[0]
+        r0, r20, r80, dram = row[1], row[2], row[4], row[5]
+        assert r20 > r0, f"r=20% gave no cacheless gain on {dataset}"
+        assert r80 > r0, f"r=80% gave no cacheless gain on {dataset}"
+        assert dram > 3 * r80, f"pure DRAM not dominant on {dataset}"

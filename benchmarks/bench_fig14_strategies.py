@@ -1,0 +1,30 @@
+"""Figure 14 bench: ME vs RPP vs FPR replication strategies."""
+
+from conftest import publish
+
+from repro.experiments import fig14_strategies
+
+
+def test_fig14_strategies(benchmark, scale, max_queries):
+    result = benchmark.pedantic(
+        fig14_strategies.run,
+        kwargs=dict(scale=scale, max_queries=max_queries),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+    by_dataset = {}
+    for row in result.rows:
+        by_dataset.setdefault(row[0], {})[row[1]] = row[2:]
+    for dataset, series in by_dataset.items():
+        # Paper shape: ME is the stable winner — above baseline at every
+        # ratio and at least matching RPP at the largest ratio.
+        assert all(v > 1.0 for v in series["me"]), f"ME below SHP on {dataset}"
+        assert series["me"][-1] >= series["rpp"][-1] * 0.98, (
+            f"ME lost to RPP at r=80% on {dataset}"
+        )
+    # FPR's instability: on at least one dataset it trails ME clearly.
+    trailing = [
+        d for d, s in by_dataset.items() if s["fpr"][-1] < s["me"][-1] * 0.95
+    ]
+    assert trailing, "FPR unexpectedly matched ME everywhere"

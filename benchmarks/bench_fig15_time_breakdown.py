@@ -1,0 +1,22 @@
+"""Figure 15 bench: online query time breakdown (raw / +pipeline / +k)."""
+
+from conftest import publish
+
+from repro.experiments import fig15_time_breakdown
+
+
+def test_fig15_time_breakdown(benchmark, scale, max_queries):
+    result = benchmark.pedantic(
+        fig15_time_breakdown.run,
+        kwargs=dict(scale=scale, max_queries=max_queries),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+    raw, pipeline, index_limit = result.rows
+    # Paper shape: +pipeline cuts total latency (~10% in the paper), and
+    # +index_limit cuts it further.
+    assert pipeline[2] < raw[2]
+    assert index_limit[2] <= pipeline[2] * 1.01
+    # The index limit must reduce per-query selection CPU.
+    assert index_limit[4] <= pipeline[4]

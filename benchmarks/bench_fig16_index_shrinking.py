@@ -1,0 +1,21 @@
+"""Figure 16 bench: impact of index shrinking on effective bandwidth."""
+
+from conftest import publish
+
+from repro.experiments import fig16_index_shrinking
+
+
+def test_fig16_index_shrinking(benchmark, scale, max_queries):
+    result = benchmark.pedantic(
+        fig16_index_shrinking.run,
+        kwargs=dict(scale=scale, max_queries=max_queries),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+    rows = {row[0]: row[1:] for row in result.rows}
+    # Paper shape (at r=80%): k=10 retains > 98%, k=5 > 96% of the full
+    # index's bandwidth.  We assert slightly relaxed bands at sim scale.
+    assert all(v == 1.0 for v in rows["all"])
+    assert all(v >= 0.97 for v in rows["k=10"]), rows["k=10"]
+    assert all(v >= 0.94 for v in rows["k=5"]), rows["k=5"]

@@ -1,0 +1,26 @@
+"""Figure 17(a) bench: sensitivity to embedding vector dimension."""
+
+from conftest import publish
+
+from repro.experiments import fig17_sensitivity
+
+
+def test_fig17a_dimensions(benchmark, scale, max_queries):
+    result = benchmark.pedantic(
+        fig17_sensitivity.run_dimensions,
+        kwargs=dict(scale=scale, max_queries=max_queries),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+    # Paper shape: bandwidth grows with r for every dimension.
+    for row in result.rows:
+        dim = row[0]
+        values = row[1:]
+        assert values[-1] > values[0], f"no growth with r at dim={dim}"
+    # Capacity argument: larger dims serve fewer embeddings per read
+    # (MB/s divided by the embedding size is monotone decreasing in dim).
+    per_read = [
+        (row[0], row[1] / (row[0] * 4)) for row in result.rows
+    ]
+    assert per_read[0][1] > per_read[-1][1]

@@ -1,0 +1,25 @@
+"""Figure 17(b) bench: sensitivity to SSD type (P4510 / P5800X / RAID-0)."""
+
+from conftest import publish
+
+from repro.experiments import fig17_sensitivity
+
+
+def test_fig17b_ssd_types(benchmark, scale, max_queries):
+    result = benchmark.pedantic(
+        fig17_sensitivity.run_ssd_types,
+        kwargs=dict(scale=scale, max_queries=max_queries),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+    # Paper shape: vanilla < SHP < MaxEmbed on every device; absolute MB/s
+    # scales with the device's bandwidth (ordering unchanged).
+    for row in result.rows:
+        ssd, vanilla, shp, me = row
+        assert vanilla < shp < me, f"placement ordering broken on {ssd}"
+    by_name = {row[0]: row for row in result.rows}
+    assert by_name["P4510"][3] < by_name["P5800X"][3] < by_name["RAID0"][3]
+    # RAID-0 of two P5800X doubles the ceiling, so ME MB/s doubles too.
+    ratio = by_name["RAID0"][3] / by_name["P5800X"][3]
+    assert 1.9 < ratio < 2.1

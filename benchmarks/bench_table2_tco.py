@@ -1,0 +1,25 @@
+"""Table 2 bench: total cost of ownership estimate (paper §7.3)."""
+
+import pytest
+
+from conftest import publish
+
+from repro.experiments import table2_tco
+
+
+def test_table2_tco(benchmark):
+    result = benchmark.pedantic(
+        table2_tco.run,
+        kwargs=dict(performance_factor=1.16),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+    rows = {row[0]: row for row in result.rows}
+    # The paper's exact arithmetic: $1,869.25 baseline / ~$2,088 MaxEmbed
+    # on P5800X; performance/cost 1.04x (Optane) and 1.12x (NAND).
+    assert rows["total_cost_p5800x_$"][1] == pytest.approx(1869.25, abs=1)
+    assert rows["total_cost_p5800x_$"][2] == pytest.approx(2088.0, abs=10)
+    assert rows["total_cost_pm1735_$"][1] == pytest.approx(1658.31, abs=1)
+    assert rows["perf_per_cost_p5800x"][2] == pytest.approx(1.04, abs=0.02)
+    assert rows["perf_per_cost_pm1735"][2] == pytest.approx(1.12, abs=0.02)

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Capacity planning: pick a replication ratio and index limit for a budget.
+
+A deployment-engineering walk-through using the library's accounting
+APIs: for a CriteoTB-shaped table, sweep the replication ratio and index
+limit, and report SSD space, DRAM index footprint, effective bandwidth,
+and the paper's §7.3 performance/cost metric on both drive types.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro import MaxEmbedConfig, make_trace
+from repro.core import MaxEmbedStore, build_offline_layout
+from repro.experiments.table2_tco import TcoModel
+from repro.metrics import evaluate_placement
+from repro.utils.tables import format_table
+
+trace, preset = make_trace("criteo_tb", scale="small", seed=3)
+history, live = trace.split(0.5)
+
+# -- sweep replication ratio -------------------------------------------------
+
+print("replication-ratio sweep (index limit: full)\n")
+rows = []
+baseline_fraction = None
+for ratio in (0.0, 0.1, 0.2, 0.4, 0.8):
+    config = MaxEmbedConfig(
+        strategy="none" if ratio == 0 else "maxembed",
+        replication_ratio=ratio,
+    )
+    layout = build_offline_layout(history, config)
+    evaluation = evaluate_placement(layout, live)
+    fraction = evaluation.effective_fraction()
+    if baseline_fraction is None:
+        baseline_fraction = fraction
+    speedup = fraction / baseline_fraction
+    model = TcoModel(replication_ratio=ratio)
+    base_cost = model.total_cost_p5800x(model.table_gb)
+    me_cost = model.total_cost_p5800x(model.replicated_table_gb())
+    rows.append(
+        [
+            f"{ratio:.0%}",
+            layout.num_pages,
+            f"{layout.space_overhead():.1%}",
+            f"{fraction:.2%}",
+            f"{speedup:.3f}x",
+            f"${me_cost:,.0f}",
+            f"{speedup / (me_cost / base_cost):.3f}x",
+        ]
+    )
+print(
+    format_table(
+        [
+            "r",
+            "pages",
+            "extra_space",
+            "eff_bw",
+            "bw_vs_shp",
+            "tco_p5800x",
+            "perf/cost",
+        ],
+        rows,
+    )
+)
+
+# -- sweep index limit at the chosen ratio ---------------------------------------
+
+print("\nindex-limit sweep at r=40% (DRAM vs bandwidth trade-off)\n")
+config = MaxEmbedConfig(strategy="maxembed", replication_ratio=0.4)
+layout = build_offline_layout(history, config)
+rows = []
+full_fraction = None
+for limit in (None, 10, 5, 2, 1):
+    evaluation = evaluate_placement(layout, live, index_limit=limit)
+    fraction = evaluation.effective_fraction()
+    if full_fraction is None:
+        full_fraction = fraction
+    store = MaxEmbedStore(
+        layout,
+        MaxEmbedConfig(
+            strategy="maxembed", replication_ratio=0.4, index_limit=limit
+        ),
+    )
+    rows.append(
+        [
+            "all" if limit is None else f"k={limit}",
+            store.memory_overhead_entries(),
+            f"{fraction:.2%}",
+            f"{fraction / full_fraction:.1%}",
+        ]
+    )
+print(
+    format_table(
+        ["index_limit", "dram_entries", "eff_bw", "vs_full_index"], rows
+    )
+)
+print(
+    "\nReading the tables: a small r already buys most of the bandwidth "
+    "win at modest space cost, and shrinking the forward index to k=5-10 "
+    "keeps nearly all of it while cutting the DRAM index footprint — the "
+    "paper's Figure 16 and Table 2 conclusions."
+)

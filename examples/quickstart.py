@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Quickstart: build a MaxEmbed store and serve queries in ~20 lines.
+
+Generates a synthetic Criteo-like trace, runs the offline phase (SHP
+partitioning + connectivity-priority replication at r=10 %), and serves
+the held-out half of the trace through the full online stack (LRU cache →
+one-pass page selection → pipelined simulated-SSD reads).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import MaxEmbedConfig, MaxEmbedStore, make_trace
+
+# 1. A workload: synthetic trace mirroring the Criteo click log's shape.
+trace, preset = make_trace("criteo", scale="small", seed=42)
+print(f"dataset: {preset.label} — {len(trace)} queries over "
+      f"{trace.num_keys} embedding keys "
+      f"(mean query length {trace.mean_query_length():.1f})")
+
+# 2. Offline phase on historical queries; online phase on the rest.
+history, live = trace.split(0.5)
+config = MaxEmbedConfig(replication_ratio=0.10)  # paper default: r=10 %
+store = MaxEmbedStore.build(history, config)
+print(f"offline phase: {store.layout.num_base_pages} base pages + "
+      f"{store.layout.num_replica_pages} replica pages "
+      f"({store.storage_overhead():.1%} extra SSD space)")
+
+# 3. Serve the live half and report the paper's headline metrics.
+report = store.serve_trace(live, warmup_queries=len(live) // 10)
+print(f"throughput        : {report.throughput_qps():,.0f} queries/s")
+print(f"mean latency      : {report.mean_latency_us():.1f} us "
+      f"(p99 {report.percentile_latency_us(99):.1f} us)")
+print(f"effective bandwidth: {report.effective_bandwidth_fraction():.1%} "
+      f"of raw SSD transfer")
+print(f"valid embeddings per page read: {report.mean_valid_per_read():.2f}")
+print(f"cache hit rate    : {report.cache_hit_rate():.1%}")

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Reproduce everything: tests, the full figure/table benchmark suite, and
+# the rendered result tables.
+#
+# Usage:
+#   scripts/reproduce.sh            # full bench scale (~5 min benches)
+#   REPRO_BENCH_SCALE=small scripts/reproduce.sh   # fast smoke (~30 s)
+#
+# Outputs:
+#   test_output.txt          — full pytest run
+#   bench_output.txt         — benchmark run (one bench per paper artifact)
+#   benchmarks/results/*.txt — the regenerated tables/figures as text
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== installing (editable) =="
+pip install -e . --no-build-isolation -q || python setup.py develop
+
+echo "== unit / integration / property tests =="
+python -m pytest tests/ 2>&1 | tee test_output.txt
+
+echo "== regenerating every paper table and figure =="
+python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+echo "== done; rendered artifacts: =="
+ls benchmarks/results/

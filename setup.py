@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Offline environments without the ``wheel`` package cannot build PEP 660
+editable wheels; this shim lets ``python setup.py develop`` (and therefore
+``pip install -e . --no-build-isolation``'s legacy fallback) work there.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

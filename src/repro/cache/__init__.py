@@ -1,0 +1,29 @@
+"""DRAM embedding cache substrate.
+
+The paper fronts the SSD with Meta's CacheLib configured as an LRU cache
+with ``updateOnRead`` (reads refresh recency) but not ``updateOnWrite`` —
+the read-intensive configuration.  :class:`LruCache` reproduces those
+semantics; :class:`EmbeddingCache` sizes it as a fraction of the embedding
+table (the paper's "cache ratio", default 10 %).
+"""
+
+from .lru import CacheStats, LruCache
+from .embedding_cache import EmbeddingCache
+from .policies import (
+    CACHE_POLICIES,
+    FifoCache,
+    LfuCache,
+    SegmentedLruCache,
+    make_cache,
+)
+
+__all__ = [
+    "LruCache",
+    "CacheStats",
+    "EmbeddingCache",
+    "FifoCache",
+    "LfuCache",
+    "SegmentedLruCache",
+    "CACHE_POLICIES",
+    "make_cache",
+]

@@ -1,0 +1,92 @@
+"""LRU cache with CacheLib-style read-intensive semantics.
+
+* ``get`` on a hit refreshes recency (**updateOnRead = true**).
+* ``put`` on an existing key overwrites the value but does **not** refresh
+  recency (**updateOnWrite = false**) — the CacheLib configuration the
+  paper uses (§8.1).
+* Insertion of a new key evicts from the LRU tail when full.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, Optional, TypeVar
+
+from ..errors import CacheError
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    inserts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total get() calls."""
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class LruCache(Generic[K, V]):
+    """Bounded LRU mapping with updateOnRead / no-updateOnWrite semantics."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise CacheError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._items: "OrderedDict[K, V]" = OrderedDict()
+        self.stats = CacheStats()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._items
+
+    def get(self, key: K) -> Optional[V]:
+        """Return the cached value or None; hits refresh recency."""
+        if key in self._items:
+            self._items.move_to_end(key)
+            self.stats.hits += 1
+            return self._items[key]
+        self.stats.misses += 1
+        return None
+
+    def peek(self, key: K) -> Optional[V]:
+        """Return the cached value without touching recency or stats."""
+        return self._items.get(key)
+
+    def put(self, key: K, value: V) -> None:
+        """Insert or overwrite; only *new* keys change recency order."""
+        if key in self._items:
+            self._items[key] = value  # updateOnWrite=false: keep position
+            return
+        if len(self._items) >= self._capacity:
+            self._items.popitem(last=False)
+            self.stats.evictions += 1
+        self._items[key] = value
+        self.stats.inserts += 1
+
+    def evict_all(self) -> None:
+        """Empty the cache (counters retained)."""
+        self._items.clear()
+
+    def keys_in_recency_order(self):
+        """Keys from least- to most-recently used (for tests/debugging)."""
+        return list(self._items.keys())

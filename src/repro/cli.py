@@ -1,0 +1,240 @@
+"""Command-line interface.
+
+Subcommands::
+
+    maxembed generate  --dataset criteo --scale bench --out trace.txt
+    maxembed analyze   --trace trace.txt
+    maxembed build     --trace trace.txt --ratio 0.1 --out layout.json
+    maxembed diagnose  --layout layout.json [--trace trace.txt]
+    maxembed serve     --trace trace.txt --layout layout.json
+    maxembed experiment fig8 [--scale small]
+    maxembed experiments [--scale small]
+
+Everything the CLI does is a thin layer over the public API, so scripts
+can reproduce any invocation programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import MaxEmbedConfig, MaxEmbedStore, build_offline_layout
+from .experiments.runner import ALL_EXPERIMENTS, run_all, run_experiment
+from .placement import load_layout, save_layout
+from .types import EmbeddingSpec
+from .utils.tables import format_mapping
+from .workloads import load_trace, make_trace, save_trace, DATASETS
+
+
+def _add_generate(subparsers) -> None:
+    p = subparsers.add_parser("generate", help="generate a synthetic trace")
+    p.add_argument("--dataset", default="criteo", choices=sorted(DATASETS))
+    p.add_argument("--scale", default="bench", choices=["bench", "small"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="output trace file")
+
+
+def _add_analyze(subparsers) -> None:
+    p = subparsers.add_parser(
+        "analyze", help="summarize a trace's skew and co-appearance breadth"
+    )
+    p.add_argument("--trace", required=True, help="trace file to analyze")
+    p.add_argument("--dim", type=int, default=64)
+
+
+def _add_build(subparsers) -> None:
+    p = subparsers.add_parser("build", help="run the offline phase")
+    p.add_argument("--trace", required=True, help="input trace file")
+    p.add_argument("--ratio", type=float, default=0.1)
+    p.add_argument(
+        "--strategy",
+        default="maxembed",
+        choices=["maxembed", "rpp", "fpr", "none"],
+    )
+    p.add_argument("--dim", type=int, default=64)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True, help="output layout file")
+
+
+def _add_diagnose(subparsers) -> None:
+    p = subparsers.add_parser(
+        "diagnose", help="inspect a layout's replica budget"
+    )
+    p.add_argument("--layout", required=True, help="layout file")
+    p.add_argument(
+        "--trace", default=None, help="optional trace for pair coverage"
+    )
+
+
+def _add_serve(subparsers) -> None:
+    p = subparsers.add_parser("serve", help="replay a trace online")
+    p.add_argument("--trace", required=True, help="trace to serve")
+    p.add_argument("--layout", required=True, help="layout file")
+    p.add_argument("--dim", type=int, default=64)
+    p.add_argument("--cache-ratio", type=float, default=0.1)
+    p.add_argument(
+        "--cache-policy",
+        default="lru",
+        choices=["lru", "fifo", "lfu", "slru"],
+    )
+    p.add_argument("--index-limit", type=int, default=None)
+    p.add_argument(
+        "--selector", default="onepass", choices=["onepass", "greedy"]
+    )
+    p.add_argument(
+        "--executor", default="pipelined", choices=["pipelined", "serial"]
+    )
+    p.add_argument("--threads", type=int, default=8)
+
+
+def _add_experiments(subparsers) -> None:
+    p = subparsers.add_parser(
+        "experiment", help="run one paper experiment by id"
+    )
+    p.add_argument("exp_id", choices=sorted(ALL_EXPERIMENTS))
+    p.add_argument("--scale", default="bench", choices=["bench", "small"])
+    q = subparsers.add_parser("experiments", help="run every experiment")
+    q.add_argument("--scale", default="bench", choices=["bench", "small"])
+    q.add_argument(
+        "--report",
+        default=None,
+        help="also write a combined markdown report to this path",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="maxembed",
+        description="MaxEmbed (ASPLOS '24) reproduction toolkit",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_generate(subparsers)
+    _add_analyze(subparsers)
+    _add_build(subparsers)
+    _add_diagnose(subparsers)
+    _add_serve(subparsers)
+    _add_experiments(subparsers)
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    trace, preset = make_trace(args.dataset, scale=args.scale, seed=args.seed)
+    save_trace(trace, args.out)
+    print(
+        f"wrote {len(trace)} queries over {trace.num_keys} keys "
+        f"({preset.label}, {args.scale}) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .types import EmbeddingSpec as _Spec
+    from .workloads.analysis import summarize
+
+    trace = load_trace(args.trace)
+    capacity = _Spec(dim=args.dim).slots_per_page
+    summary = summarize(trace, page_capacity=capacity)
+    print(format_mapping(f"trace analysis ({args.trace})", summary))
+    if summary["hot_coappearance_breadth"] > capacity:
+        print(
+            f"\nhot keys co-appear with "
+            f"{summary['hot_coappearance_breadth']:.0f} partners but a page "
+            f"holds {capacity} -> replication has headroom here"
+        )
+    return 0
+
+
+def _cmd_build(args) -> int:
+    trace = load_trace(args.trace)
+    config = MaxEmbedConfig(
+        spec=EmbeddingSpec(dim=args.dim),
+        strategy=args.strategy,
+        replication_ratio=args.ratio,
+        seed=args.seed,
+    )
+    layout = build_offline_layout(trace, config)
+    save_layout(layout, args.out)
+    print(
+        f"built layout: {layout.num_pages} pages "
+        f"({layout.num_replica_pages} replicas, "
+        f"space overhead {layout.space_overhead():.1%}) -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_diagnose(args) -> int:
+    from .placement import hot_pair_coverage, layout_report
+
+    layout = load_layout(args.layout)
+    report = layout_report(layout)
+    print(format_mapping(f"layout diagnostics ({args.layout})", report.as_dict()))
+    if args.trace:
+        trace = load_trace(args.trace)
+        coverage = hot_pair_coverage(layout, trace)
+        print(f"\nhot-pair coverage on {args.trace}: {coverage:.1%}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    trace = load_trace(args.trace)
+    layout = load_layout(args.layout)
+    config = MaxEmbedConfig(
+        spec=EmbeddingSpec(dim=args.dim),
+        cache_ratio=args.cache_ratio,
+        cache_policy=args.cache_policy,
+        index_limit=args.index_limit,
+        selector=args.selector,
+        executor=args.executor,
+        threads=args.threads,
+    )
+    store = MaxEmbedStore(layout, config)
+    report = store.serve_trace(trace)
+    print(
+        format_mapping(
+            "serving report",
+            {
+                "queries": report.num_queries,
+                "throughput_qps": round(report.throughput_qps()),
+                "mean_latency_us": round(report.mean_latency_us(), 2),
+                "p99_latency_us": round(report.percentile_latency_us(99), 2),
+                "effective_bandwidth": round(
+                    report.effective_bandwidth_fraction(), 4
+                ),
+                "cache_hit_rate": round(report.cache_hit_rate(), 4),
+                "pages_read": report.total_pages_read,
+            },
+        )
+    )
+    return 0
+
+
+def main(argv: "Optional[List[str]]" = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "generate":
+        return _cmd_generate(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "build":
+        return _cmd_build(args)
+    if args.command == "diagnose":
+        return _cmd_diagnose(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "experiment":
+        print(run_experiment(args.exp_id, scale=args.scale).render())
+        return 0
+    results = run_all(scale=args.scale)
+    if args.report:
+        from .experiments.runner import write_markdown_report
+
+        write_markdown_report(results, args.report)
+        print(f"markdown report written to {args.report}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

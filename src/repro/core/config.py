@@ -1,0 +1,84 @@
+"""Top-level MaxEmbed configuration.
+
+One dataclass spanning both phases, so a whole experiment is reproducible
+from a single value.  Field defaults follow the paper's defaults: 64-dim
+embeddings on 4 KiB pages, 10 % replication, 10 % DRAM cache, one-pass
+selection with pipelined reads on a P5800X.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import ConfigError
+from ..partition import ShpConfig
+from ..serving import CpuCostModel
+from ..ssd import P5800X, SsdProfile
+from ..types import EmbeddingSpec
+
+
+@dataclass(frozen=True)
+class MaxEmbedConfig:
+    """Configuration of a full MaxEmbed deployment.
+
+    Attributes:
+        spec: embedding geometry (dim / page size → ``d``).
+        replication_ratio: ``r`` — replica pages per base page.
+        strategy: offline strategy: ``"maxembed"`` (connectivity-priority),
+            ``"rpp"``, ``"fpr"``, or ``"none"`` (plain SHP, the Bandana
+            baseline).
+        partitioner: ``"shp"``, ``"multilevel"``, ``"random"``, or
+            ``"vanilla"``.
+        shp: SHP tuning knobs.
+        index_limit: forward-index shrink ``k`` (None = full index).
+        cache_ratio: DRAM cache as a fraction of the table.
+        cache_policy: eviction policy (``lru``/``fifo``/``lfu``/``slru``).
+        profile: simulated SSD profile.
+        raid_members: >1 stripes over a RAID-0.
+        selector / executor: online algorithms (see
+            :class:`~repro.serving.EngineConfig`).
+        threads: simulated serving threads.
+        cost_model: selection CPU charges.
+        seed: base RNG seed for every stochastic component.
+    """
+
+    spec: EmbeddingSpec = field(default_factory=EmbeddingSpec)
+    replication_ratio: float = 0.10
+    strategy: str = "maxembed"
+    partitioner: str = "shp"
+    shp: ShpConfig = field(default_factory=ShpConfig)
+    index_limit: Optional[int] = None
+    cache_ratio: float = 0.10
+    cache_policy: str = "lru"
+    profile: SsdProfile = P5800X
+    raid_members: int = 1
+    selector: str = "onepass"
+    executor: str = "pipelined"
+    threads: int = 8
+    cost_model: CpuCostModel = field(default_factory=CpuCostModel)
+    seed: int = 0
+
+    _STRATEGIES = ("maxembed", "rpp", "fpr", "none")
+    _PARTITIONERS = ("shp", "multilevel", "random", "vanilla")
+
+    def __post_init__(self) -> None:
+        if self.strategy not in self._STRATEGIES:
+            raise ConfigError(
+                f"unknown strategy {self.strategy!r}; "
+                f"choose from {self._STRATEGIES}"
+            )
+        if self.partitioner not in self._PARTITIONERS:
+            raise ConfigError(
+                f"unknown partitioner {self.partitioner!r}; "
+                f"choose from {self._PARTITIONERS}"
+            )
+        if self.replication_ratio < 0:
+            raise ConfigError(
+                f"replication_ratio must be >= 0, got {self.replication_ratio}"
+            )
+
+    @property
+    def page_capacity(self) -> int:
+        """``d`` — embeddings per SSD page under this spec."""
+        return self.spec.slots_per_page

@@ -1,0 +1,137 @@
+"""Layout deployment: versioned offline results, swapped under live traffic.
+
+The drift experiment shows MaxEmbed placements go stale; production
+systems therefore re-run the offline phase periodically and swap the new
+placement in.  :class:`LayoutManager` models that operational loop:
+
+* each offline result is registered as a numbered **version**;
+* ``swap`` atomically replaces the serving engine (the DRAM indexes are
+  rebuilt from the new layout; the cache can be kept — keys are stable —
+  or dropped to model a cold restart);
+* ``staleness_probe`` measures the active placement against a recent
+  traffic window so operators can trigger rebuilds on evidence instead
+  of on a timer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ServingError
+from ..metrics import evaluate_placement
+from ..placement import PageLayout
+from ..serving import EngineConfig, ServingEngine
+from ..types import QueryTrace
+
+
+@dataclass(frozen=True)
+class LayoutVersion:
+    """One registered offline result."""
+
+    version: int
+    layout: PageLayout
+    label: str = ""
+
+
+class LayoutManager:
+    """Versioned layouts with atomic engine swaps and staleness probing."""
+
+    def __init__(
+        self, layout: PageLayout, config: "EngineConfig | None" = None
+    ) -> None:
+        self._config = config or EngineConfig()
+        self._versions: List[LayoutVersion] = []
+        self._active: Optional[int] = None
+        self._engine: Optional[ServingEngine] = None
+        first = self.register(layout, label="initial")
+        self.swap(first.version)
+
+    # -- registry --------------------------------------------------------------
+
+    def register(self, layout: PageLayout, label: str = "") -> LayoutVersion:
+        """Add a new offline result; returns its version record."""
+        if self._versions and layout.num_keys != self._versions[0].layout.num_keys:
+            raise ServingError(
+                "all layout versions must cover the same key space"
+            )
+        version = LayoutVersion(len(self._versions), layout, label)
+        self._versions.append(version)
+        return version
+
+    def versions(self) -> List[LayoutVersion]:
+        """All registered versions in registration order."""
+        return list(self._versions)
+
+    @property
+    def active_version(self) -> int:
+        """Currently serving version number."""
+        if self._active is None:
+            raise ServingError("no layout has been activated")
+        return self._active
+
+    @property
+    def engine(self) -> ServingEngine:
+        """The live serving engine."""
+        if self._engine is None:
+            raise ServingError("no layout has been activated")
+        return self._engine
+
+    # -- swap ---------------------------------------------------------------------
+
+    def swap(self, version: int, keep_cache: bool = True) -> ServingEngine:
+        """Activate a registered version.
+
+        Args:
+            version: version number from :meth:`register`.
+            keep_cache: carry the warm DRAM cache across the swap.  Keys
+                are placement-independent, so a kept cache stays valid; a
+                dropped cache models a cold restart.
+        """
+        if not 0 <= version < len(self._versions):
+            raise ServingError(f"unknown layout version {version}")
+        old_cache = self._engine.cache if self._engine is not None else None
+        self._engine = ServingEngine(
+            self._versions[version].layout, self._config
+        )
+        if keep_cache and old_cache is not None:
+            self._engine.cache = old_cache
+        self._active = version
+        return self._engine
+
+    # -- staleness ------------------------------------------------------------------
+
+    def staleness_probe(
+        self,
+        window: QueryTrace,
+        max_queries: Optional[int] = 500,
+    ) -> Dict[str, float]:
+        """Evaluate every registered version against a traffic window.
+
+        Returns ``{label_or_version: effective_bandwidth}`` plus the
+        active version's share of the best — a value well below 1.0 says
+        a registered (presumably rebuilt) placement would serve the
+        current traffic better.
+        """
+        if self._active is None:
+            raise ServingError("no layout has been activated")
+        scores: Dict[str, float] = {}
+        best = 0.0
+        active_score = 0.0
+        for record in self._versions:
+            name = record.label or f"v{record.version}"
+            score = evaluate_placement(
+                record.layout,
+                window,
+                max_queries=max_queries,
+                embedding_bytes=self._config.spec.embedding_bytes,
+                page_size=self._config.spec.page_size,
+            ).effective_fraction()
+            scores[name] = score
+            best = max(best, score)
+            if record.version == self._active:
+                active_score = score
+        scores["active_share_of_best"] = (
+            active_score / best if best > 0 else 1.0
+        )
+        return scores

@@ -1,0 +1,24 @@
+"""A numpy DLRM that consumes the MaxEmbed store.
+
+The paper's motivating application (Figure 1): sparse features → embedding
+lookups (through the SSD store) → pooling → MLP → click probability.
+This package provides the minimal-but-real model so examples and tests
+exercise the store's byte-accurate lookup path end to end.
+"""
+
+from .mlp import Mlp
+from .model import DlrmConfig, DlrmModel
+from .tables import TableSet, TableSpec
+from .embedding_bag import EmbeddingBagCollection, dot_interactions
+from .interaction_model import InteractionDlrmModel
+
+__all__ = [
+    "Mlp",
+    "DlrmModel",
+    "DlrmConfig",
+    "TableSet",
+    "TableSpec",
+    "EmbeddingBagCollection",
+    "dot_interactions",
+    "InteractionDlrmModel",
+]

@@ -1,0 +1,105 @@
+"""Per-table pooled embedding lookups (EmbeddingBag semantics).
+
+Real DLRMs pool each sparse feature *category* separately — user history
+ids pool into one vector, item ids into another — before the interaction
+layer combines them.  :class:`EmbeddingBagCollection` provides that API
+over a MaxEmbed store: one storage-level lookup per sample (all tables'
+ids in a single query, exactly how the paper's traces interleave
+categories), then per-table sum or mean pooling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core import MaxEmbedStore
+from ..errors import ConfigError
+from .tables import TableSet
+
+
+class EmbeddingBagCollection:
+    """Per-table pooled lookups over one MaxEmbed store."""
+
+    def __init__(
+        self,
+        store: MaxEmbedStore,
+        tables: TableSet,
+        mode: str = "sum",
+    ) -> None:
+        if tables.total_keys != store.layout.num_keys:
+            raise ConfigError(
+                f"table set covers {tables.total_keys} keys, store holds "
+                f"{store.layout.num_keys}"
+            )
+        if mode not in ("sum", "mean"):
+            raise ConfigError(f"mode must be 'sum' or 'mean', got {mode!r}")
+        self.store = store
+        self.tables = tables
+        self.mode = mode
+
+    @property
+    def dim(self) -> int:
+        """Embedding width."""
+        return self.store.config.spec.dim
+
+    def forward_one(
+        self, per_table_ids: Dict[str, Sequence[int]]
+    ) -> np.ndarray:
+        """Pool one sample: returns ``(num_tables, dim)``.
+
+        Tables absent from ``per_table_ids`` (a user with no history for
+        that category) pool to the zero vector, as real DLRMs do.
+        """
+        present = {
+            t: list(ids) for t, ids in per_table_ids.items() if len(ids)
+        }
+        if not present:
+            raise ConfigError("a sample needs at least one sparse id")
+        query = self.tables.build_query(present)
+        vectors = self.store.lookup(query)
+        grouped = self.tables.split_result(vectors)
+        pooled = np.zeros(
+            (self.tables.num_tables, self.dim), dtype=np.float32
+        )
+        for index, spec in enumerate(self.tables.tables()):
+            ids = present.get(spec.name)
+            if not ids:
+                continue
+            distinct = list(dict.fromkeys(ids))
+            stack = np.stack([grouped[spec.name][i] for i in distinct])
+            if self.mode == "sum":
+                pooled[index] = stack.sum(axis=0)
+            else:
+                pooled[index] = stack.mean(axis=0)
+        return pooled
+
+    def forward(
+        self, batch: Sequence[Dict[str, Sequence[int]]]
+    ) -> np.ndarray:
+        """Pool a batch: returns ``(batch, num_tables, dim)``."""
+        if not batch:
+            raise ConfigError("batch must be non-empty")
+        return np.stack([self.forward_one(sample) for sample in batch])
+
+
+def dot_interactions(features: np.ndarray) -> np.ndarray:
+    """Pairwise dot-product interactions (the DLRM interaction op).
+
+    Args:
+        features: ``(batch, slots, dim)`` — the dense representation plus
+            each table's pooled vector.
+
+    Returns:
+        ``(batch, slots·(slots−1)/2)`` — the upper-triangle dot products.
+    """
+    features = np.asarray(features, dtype=np.float32)
+    if features.ndim != 3:
+        raise ConfigError(
+            f"expected (batch, slots, dim), got shape {features.shape}"
+        )
+    batch, slots, _ = features.shape
+    gram = np.einsum("bsd,btd->bst", features, features)
+    upper = np.triu_indices(slots, k=1)
+    return gram[:, upper[0], upper[1]].reshape(batch, -1)

@@ -1,0 +1,89 @@
+"""Minimal dense MLP (numpy, inference only).
+
+DLRM inference needs a bottom MLP over dense features and a top MLP over
+the pooled embeddings; both are plain fully connected stacks with ReLU
+hidden activations and an optional sigmoid output head.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..utils.rng import RngLike, make_rng
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+class Mlp:
+    """Fully connected stack with ReLU hiddens.
+
+    Weights are He-initialized from the given seed; the class is inference
+    only (the paper serves trained models, it does not train them).
+    """
+
+    def __init__(
+        self,
+        layer_sizes: Sequence[int],
+        sigmoid_output: bool = False,
+        seed: RngLike = 0,
+    ) -> None:
+        if len(layer_sizes) < 2:
+            raise ConfigError(
+                f"an MLP needs >= 2 layer sizes, got {list(layer_sizes)}"
+            )
+        if any(s <= 0 for s in layer_sizes):
+            raise ConfigError(f"layer sizes must be positive: {layer_sizes}")
+        rng = make_rng(seed)
+        self.layer_sizes = list(layer_sizes)
+        self.sigmoid_output = sigmoid_output
+        self.weights: List[np.ndarray] = []
+        self.biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self.weights.append(
+                rng.normal(0.0, scale, size=(fan_in, fan_out)).astype(
+                    np.float32
+                )
+            )
+            self.biases.append(np.zeros(fan_out, dtype=np.float32))
+
+    @property
+    def input_dim(self) -> int:
+        """Expected feature width."""
+        return self.layer_sizes[0]
+
+    @property
+    def output_dim(self) -> int:
+        """Output width."""
+        return self.layer_sizes[-1]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the stack on a ``(batch, input_dim)`` array."""
+        x = np.asarray(x, dtype=np.float32)
+        if x.ndim == 1:
+            x = x[None, :]
+        if x.shape[1] != self.input_dim:
+            raise ConfigError(
+                f"input width {x.shape[1]} != expected {self.input_dim}"
+            )
+        out = x
+        last = len(self.weights) - 1
+        for index, (w, b) in enumerate(zip(self.weights, self.biases)):
+            out = out @ w + b
+            if index < last:
+                out = _relu(out)
+        if self.sigmoid_output:
+            out = _sigmoid(out)
+        return out
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)

@@ -1,0 +1,128 @@
+"""DLRM inference over a MaxEmbed store.
+
+The model follows the paper's Figure 1: sparse feature ids are looked up
+in the embedding table (served by :class:`~repro.core.MaxEmbedStore`,
+i.e. through cache → page selection → simulated SSD), sum-pooled,
+concatenated with the bottom MLP's dense representation, and scored by
+the top MLP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import MaxEmbedStore
+from ..errors import ConfigError
+from ..types import Query
+from ..utils.rng import RngLike, make_rng
+from .mlp import Mlp
+
+
+@dataclass(frozen=True)
+class DlrmConfig:
+    """Model geometry.
+
+    Attributes:
+        embedding_dim: width of the sparse embeddings (must match the
+            store's spec).
+        dense_dim: raw dense-feature width.
+        bottom_layers: hidden sizes of the bottom MLP (its output is
+            forced to ``embedding_dim`` so pooled sparse and dense parts
+            concatenate cleanly).
+        top_layers: hidden sizes of the top MLP (a sigmoid scalar head is
+            appended).
+    """
+
+    embedding_dim: int = 64
+    dense_dim: int = 13
+    bottom_layers: Tuple[int, ...] = (64, 32)
+    top_layers: Tuple[int, ...] = (64, 32)
+
+    def __post_init__(self) -> None:
+        if self.embedding_dim <= 0:
+            raise ConfigError(
+                f"embedding_dim must be positive, got {self.embedding_dim}"
+            )
+        if self.dense_dim <= 0:
+            raise ConfigError(
+                f"dense_dim must be positive, got {self.dense_dim}"
+            )
+
+
+class DlrmModel:
+    """Inference-only DLRM whose embedding layer is a MaxEmbed store."""
+
+    def __init__(
+        self,
+        store: MaxEmbedStore,
+        config: "DlrmConfig | None" = None,
+        seed: RngLike = 0,
+    ) -> None:
+        self.config = config or DlrmConfig()
+        if store.config.spec.dim != self.config.embedding_dim:
+            raise ConfigError(
+                f"store embeds dim={store.config.spec.dim}, model expects "
+                f"{self.config.embedding_dim}"
+            )
+        self.store = store
+        rng = make_rng(seed)
+        self.bottom = Mlp(
+            [self.config.dense_dim]
+            + list(self.config.bottom_layers)
+            + [self.config.embedding_dim],
+            seed=rng,
+        )
+        self.top = Mlp(
+            [2 * self.config.embedding_dim] + list(self.config.top_layers) + [1],
+            sigmoid_output=True,
+            seed=rng,
+        )
+
+    # -- embedding path ------------------------------------------------------------
+
+    def pool_embeddings(self, sparse_ids: Sequence[int]) -> np.ndarray:
+        """Fetch and sum-pool the embeddings for one sample's sparse ids."""
+        if not sparse_ids:
+            raise ConfigError("a sample needs at least one sparse id")
+        vectors = self.store.lookup(Query.of(sparse_ids))
+        pooled = np.zeros(self.config.embedding_dim, dtype=np.float32)
+        for sid in dict.fromkeys(sparse_ids):
+            pooled += vectors[sid]
+        return pooled
+
+    # -- inference --------------------------------------------------------------------
+
+    def predict(
+        self,
+        dense: np.ndarray,
+        sparse_ids: Sequence[Sequence[int]],
+    ) -> np.ndarray:
+        """Click probabilities for a batch.
+
+        Args:
+            dense: ``(batch, dense_dim)`` dense features.
+            sparse_ids: per-sample sparse feature id lists.
+        """
+        dense = np.asarray(dense, dtype=np.float32)
+        if dense.ndim == 1:
+            dense = dense[None, :]
+        if len(sparse_ids) != dense.shape[0]:
+            raise ConfigError(
+                f"{len(sparse_ids)} sparse samples for a dense batch of "
+                f"{dense.shape[0]}"
+            )
+        dense_repr = self.bottom(dense)
+        pooled = np.stack(
+            [self.pool_embeddings(ids) for ids in sparse_ids]
+        )
+        features = np.concatenate([dense_repr, pooled], axis=1)
+        return self.top(features)[:, 0]
+
+    def predict_one(
+        self, dense: np.ndarray, sparse_ids: Sequence[int]
+    ) -> float:
+        """Single-sample convenience wrapper."""
+        return float(self.predict(dense[None, :], [list(sparse_ids)])[0])

@@ -1,0 +1,138 @@
+"""Multi-table embedding key space.
+
+A production DLRM maintains one embedding table per sparse feature
+category (the paper cites several hundred).  The storage layer, however,
+sees a single flat key space: MaxEmbed places and serves *global* keys.
+:class:`TableSet` is the bridge — it assigns each (table, local id) pair a
+dense global key, so one MaxEmbed store can back every table at once and
+cross-table co-occurrence (user × item × context ids queried together)
+is visible to the hypergraph exactly as it is in the paper's traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..errors import ConfigError
+from ..types import Query
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """One embedding table: a name and its local id cardinality."""
+
+    name: str
+    num_ids: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("table name must be non-empty")
+        if self.num_ids <= 0:
+            raise ConfigError(
+                f"table {self.name!r} must have a positive id count"
+            )
+
+
+class TableSet:
+    """Dense mapping between (table, local id) pairs and global keys.
+
+    Tables are laid out contiguously in declaration order: table ``t``
+    with offset ``o`` maps local id ``i`` to global key ``o + i``.
+    """
+
+    def __init__(self, tables: Sequence[TableSpec]) -> None:
+        if not tables:
+            raise ConfigError("a TableSet needs at least one table")
+        names = [t.name for t in tables]
+        if len(set(names)) != len(names):
+            raise ConfigError(f"duplicate table names in {names}")
+        self._tables: Tuple[TableSpec, ...] = tuple(tables)
+        self._offsets: Dict[str, int] = {}
+        offset = 0
+        for table in self._tables:
+            self._offsets[table.name] = offset
+            offset += table.num_ids
+        self._total = offset
+
+    @classmethod
+    def from_cardinalities(cls, cardinalities: Dict[str, int]) -> "TableSet":
+        """Build from a {name: num_ids} mapping (insertion order kept)."""
+        return cls([TableSpec(n, c) for n, c in cardinalities.items()])
+
+    # -- geometry -------------------------------------------------------------
+
+    @property
+    def num_tables(self) -> int:
+        """Number of embedding tables."""
+        return len(self._tables)
+
+    @property
+    def total_keys(self) -> int:
+        """Size of the flat global key space."""
+        return self._total
+
+    def tables(self) -> Tuple[TableSpec, ...]:
+        """The table specs in declaration order."""
+        return self._tables
+
+    def offset(self, table: str) -> int:
+        """Global key of the table's local id 0."""
+        try:
+            return self._offsets[table]
+        except KeyError:
+            raise ConfigError(f"unknown table {table!r}")
+
+    # -- key mapping ------------------------------------------------------------
+
+    def global_key(self, table: str, local_id: int) -> int:
+        """Map (table, local id) to the flat key space."""
+        offset = self.offset(table)
+        spec = self._tables[list(self._offsets).index(table)]
+        if not 0 <= local_id < spec.num_ids:
+            raise ConfigError(
+                f"local id {local_id} out of range for table {table!r} "
+                f"(0..{spec.num_ids - 1})"
+            )
+        return offset + local_id
+
+    def resolve(self, key: int) -> Tuple[str, int]:
+        """Map a global key back to its (table, local id) pair."""
+        if not 0 <= key < self._total:
+            raise ConfigError(f"global key {key} out of range")
+        for table in self._tables:
+            offset = self._offsets[table.name]
+            if key < offset + table.num_ids:
+                return table.name, key - offset
+        raise ConfigError(f"global key {key} out of range")  # pragma: no cover
+
+    # -- query building ------------------------------------------------------------
+
+    def build_query(
+        self, per_table_ids: Dict[str, Iterable[int]]
+    ) -> Query:
+        """Merge per-table sparse ids into one global-key query.
+
+        This is how a DLRM inference request reaches the store: every
+        feature category contributes its ids, and the union is one
+        embedding lookup request — a single hyperedge in the offline view.
+        """
+        keys: List[int] = []
+        for table, ids in per_table_ids.items():
+            for local_id in ids:
+                keys.append(self.global_key(table, local_id))
+        if not keys:
+            raise ConfigError("a query needs at least one sparse id")
+        return Query(tuple(keys))
+
+    def split_result(
+        self, vectors: Dict[int, object]
+    ) -> Dict[str, Dict[int, object]]:
+        """Regroup a store lookup result by table and local id."""
+        grouped: Dict[str, Dict[int, object]] = {
+            t.name: {} for t in self._tables
+        }
+        for key, vector in vectors.items():
+            table, local_id = self.resolve(key)
+            grouped[table][local_id] = vector
+        return grouped

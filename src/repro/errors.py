@@ -1,0 +1,49 @@
+"""Exception hierarchy for the MaxEmbed reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class at API boundaries.  Subclasses are split
+by subsystem to keep error handling precise without forcing users to
+import deep modules.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied (bad ratio, size, …)."""
+
+
+class HypergraphError(ReproError):
+    """Structural problem with a hypergraph (unknown vertex, empty edge, …)."""
+
+
+class PartitionError(ReproError):
+    """A partitioner produced or received an invalid partition."""
+
+
+class PlacementError(ReproError):
+    """A page layout or index violates its invariants."""
+
+
+class StorageError(ReproError):
+    """The simulated SSD rejected a request (bad page id, closed device, …)."""
+
+
+class CacheError(ReproError):
+    """The DRAM cache was misused (non-positive capacity, …)."""
+
+
+class ServingError(ReproError):
+    """The online serving engine could not satisfy a query."""
+
+
+class WorkloadError(ReproError):
+    """A trace or synthetic workload specification is invalid."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,58 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each module reproduces one evaluation artifact (see DESIGN.md §4 for the
+full index) and returns an :class:`~repro.experiments.report.ExperimentResult`
+that renders as the same rows/series the paper plots.  Offline layouts are
+cached across experiments (`common.layout_for`), since partitioning is the
+expensive step and figures share placements.
+"""
+
+from .report import ExperimentResult
+from .common import (
+    DEFAULT_DATASETS,
+    clear_caches,
+    get_split_trace,
+    layout_for,
+)
+from . import (
+    ablations,
+    fig03_motivation,
+    fig08_effective_bandwidth,
+    fig09_valid_embeddings,
+    fig10_throughput,
+    fig11_latency,
+    fig12_cache_ratio,
+    fig13_no_cache,
+    fig14_strategies,
+    fig15_time_breakdown,
+    fig16_index_shrinking,
+    fig17_sensitivity,
+    table1_partition_time,
+    table2_tco,
+)
+from .runner import ALL_EXPERIMENTS, run_all, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "DEFAULT_DATASETS",
+    "get_split_trace",
+    "layout_for",
+    "clear_caches",
+    "run_all",
+    "run_experiment",
+    "ALL_EXPERIMENTS",
+    "ablations",
+    "fig03_motivation",
+    "fig08_effective_bandwidth",
+    "fig09_valid_embeddings",
+    "fig10_throughput",
+    "fig11_latency",
+    "fig12_cache_ratio",
+    "fig13_no_cache",
+    "fig14_strategies",
+    "fig15_time_breakdown",
+    "fig16_index_shrinking",
+    "fig17_sensitivity",
+    "table1_partition_time",
+    "table2_tco",
+]

@@ -1,0 +1,61 @@
+"""Figure 10 — end-to-end throughput vs replication ratio (10 % cache).
+
+Paper: +1.7–8.88 % at r=10 %, +8.9–18.7 % at r=80 % over the SHP baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .common import (
+    DEFAULT_DATASETS,
+    DEFAULT_RATIOS,
+    layout_for,
+    make_engine,
+    serve_live,
+)
+from .report import ExperimentResult
+
+
+def run(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    ratios: Sequence[float] = DEFAULT_RATIOS,
+    scale: str = "bench",
+    seed: int = 0,
+    dim: int = 64,
+    cache_ratio: float = 0.10,
+    max_queries: Optional[int] = None,
+    index_limit: Optional[int] = 5,
+) -> ExperimentResult:
+    """Regenerate Figure 10: normalized throughput per dataset."""
+    headers = ["dataset", "shp_qps"] + [
+        f"me_r{int(r * 100)}" for r in ratios
+    ]
+    result = ExperimentResult(
+        exp_id="fig10",
+        title="End-to-end throughput (normalized to SHP)",
+        headers=headers,
+        notes=(
+            "MaxEmbed throughput > SHP at every ratio and rises with r "
+            "(paper: up to +18.7% at r=80%)"
+        ),
+    )
+    for dataset in datasets:
+
+        def qps(strategy: str, ratio: float) -> float:
+            layout = layout_for(dataset, strategy, ratio, scale, seed, dim)
+            engine = make_engine(
+                layout, dim=dim, cache_ratio=cache_ratio,
+                index_limit=index_limit,
+            )
+            report = serve_live(
+                engine, dataset, scale, seed, max_queries=max_queries
+            )
+            return report.throughput_qps()
+
+        base = qps("none", 0.0)
+        row = [dataset, round(base)]
+        for ratio in ratios:
+            row.append(round(qps("maxembed", ratio) / base, 3) if base else 0.0)
+        result.rows.append(row)
+    return result

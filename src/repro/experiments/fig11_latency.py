@@ -1,0 +1,64 @@
+"""Figure 11 — end-to-end latency vs replication ratio (10 % cache).
+
+Paper: −2 to −7.4 % at r=10 %, −10 to −14.8 % at r=80 %: fewer page reads
+per query translate directly into lower query latency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .common import (
+    DEFAULT_DATASETS,
+    DEFAULT_RATIOS,
+    layout_for,
+    make_engine,
+    serve_live,
+)
+from .report import ExperimentResult
+
+
+def run(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    ratios: Sequence[float] = DEFAULT_RATIOS,
+    scale: str = "bench",
+    seed: int = 0,
+    dim: int = 64,
+    cache_ratio: float = 0.10,
+    max_queries: Optional[int] = None,
+    index_limit: Optional[int] = 5,
+) -> ExperimentResult:
+    """Regenerate Figure 11: normalized mean latency per dataset."""
+    headers = ["dataset", "shp_latency_us"] + [
+        f"me_r{int(r * 100)}" for r in ratios
+    ]
+    result = ExperimentResult(
+        exp_id="fig11",
+        title="End-to-end latency (normalized to SHP; lower is better)",
+        headers=headers,
+        notes=(
+            "MaxEmbed latency < SHP and falls as r grows "
+            "(paper: -10% to -14.8% at r=80%)"
+        ),
+    )
+    for dataset in datasets:
+
+        def latency(strategy: str, ratio: float) -> float:
+            layout = layout_for(dataset, strategy, ratio, scale, seed, dim)
+            engine = make_engine(
+                layout, dim=dim, cache_ratio=cache_ratio,
+                index_limit=index_limit,
+            )
+            report = serve_live(
+                engine, dataset, scale, seed, max_queries=max_queries
+            )
+            return report.mean_latency_us()
+
+        base = latency("none", 0.0)
+        row = [dataset, round(base, 2)]
+        for ratio in ratios:
+            row.append(
+                round(latency("maxembed", ratio) / base, 3) if base else 0.0
+            )
+        result.rows.append(row)
+    return result

@@ -1,0 +1,66 @@
+"""Figure 12 — throughput under different cache ratios.
+
+Paper: throughput rises with cache size and saturates; MaxEmbed keeps an
+edge (up to 1.2×) at every cache ratio because replication also helps the
+cold keys the cache never holds; CriteoTB (coldest combinations) is the
+least cache-sensitive.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .common import layout_for, make_engine, serve_live
+from .report import ExperimentResult
+
+# The paper sweeps 1-40 %; datasets of its Figure 12.
+DEFAULT_CACHE_RATIOS: Sequence[float] = (0.01, 0.02, 0.03, 0.05, 0.10, 0.20, 0.40)
+FIG12_DATASETS: Sequence[str] = (
+    "alibaba_ifashion",
+    "avazu",
+    "criteo",
+    "criteo_tb",
+)
+
+
+def run(
+    datasets: Sequence[str] = FIG12_DATASETS,
+    ratios: Sequence[float] = (0.1, 0.8),
+    cache_ratios: Sequence[float] = DEFAULT_CACHE_RATIOS,
+    scale: str = "bench",
+    seed: int = 0,
+    dim: int = 64,
+    max_queries: Optional[int] = None,
+    index_limit: Optional[int] = 5,
+) -> ExperimentResult:
+    """Regenerate Figure 12: one row per (dataset, series), qps per cache ratio."""
+    headers = ["dataset", "series"] + [
+        f"cache{int(c * 100)}%" for c in cache_ratios
+    ]
+    result = ExperimentResult(
+        exp_id="fig12",
+        title="Throughput (qps) under different cache ratios",
+        headers=headers,
+        notes=(
+            "throughput rises then saturates with cache size; MaxEmbed "
+            "stays above SHP at every cache ratio"
+        ),
+    )
+    for dataset in datasets:
+        series = [("shp", "none", 0.0)] + [
+            (f"me_r{int(r * 100)}", "maxembed", r) for r in ratios
+        ]
+        for label, strategy, ratio in series:
+            layout = layout_for(dataset, strategy, ratio, scale, seed, dim)
+            row = [dataset, label]
+            for cache_ratio in cache_ratios:
+                engine = make_engine(
+                    layout, dim=dim, cache_ratio=cache_ratio,
+                    index_limit=index_limit,
+                )
+                report = serve_live(
+                    engine, dataset, scale, seed, max_queries=max_queries
+                )
+                row.append(round(report.throughput_qps()))
+            result.rows.append(row)
+    return result

@@ -1,0 +1,74 @@
+"""Figure 13 — throughput without any DRAM cache, vs replication ratio.
+
+The cacheless scenario (near-data processing, §8.3): every key hits the
+SSD, so placement quality dominates.  Paper: a small r (0.2) already buys
+1.08–1.31×; a pure-DRAM system (not SSD-bound at all) is 9–26× faster.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .common import layout_for, make_engine, serve_live
+from .report import ExperimentResult
+
+FIG13_DATASETS: Sequence[str] = (
+    "alibaba_ifashion",
+    "avazu",
+    "criteo",
+    "criteo_tb",
+)
+FIG13_RATIOS: Sequence[float] = (0.0, 0.2, 0.4, 0.8)
+
+
+def run(
+    datasets: Sequence[str] = FIG13_DATASETS,
+    ratios: Sequence[float] = FIG13_RATIOS,
+    scale: str = "bench",
+    seed: int = 0,
+    dim: int = 64,
+    include_dram: bool = True,
+    max_queries: Optional[int] = None,
+    index_limit: Optional[int] = 5,
+) -> ExperimentResult:
+    """Regenerate Figure 13: cacheless qps per (dataset, r), plus pure DRAM."""
+    headers = ["dataset"] + [f"r{int(r * 100)}%" for r in ratios]
+    if include_dram:
+        headers.append("pure_dram")
+    result = ExperimentResult(
+        exp_id="fig13",
+        title="End-to-end throughput without DRAM cache",
+        headers=headers,
+        notes=(
+            "throughput grows with r in the cacheless setting; a pure-DRAM "
+            "system is an order of magnitude faster (paper: 9-26x)"
+        ),
+    )
+    for dataset in datasets:
+        row = [dataset]
+        for ratio in ratios:
+            strategy = "none" if ratio == 0 else "maxembed"
+            layout = layout_for(dataset, strategy, ratio, scale, seed, dim)
+            engine = make_engine(
+                layout, dim=dim, cache_ratio=0.0, index_limit=index_limit,
+            )
+            report = serve_live(
+                engine, dataset, scale, seed, max_queries=max_queries
+            )
+            row.append(round(report.throughput_qps()))
+        if include_dram:
+            layout = layout_for(dataset, "none", 0.0, scale, seed, dim)
+            engine = make_engine(
+                layout, dim=dim, cache_ratio=1.0, index_limit=index_limit,
+            )
+            report = serve_live(
+                engine,
+                dataset,
+                scale,
+                seed,
+                max_queries=max_queries,
+                warmup_fraction=0.5,
+            )
+            row.append(round(report.throughput_qps()))
+        result.rows.append(row)
+    return result

@@ -1,0 +1,66 @@
+"""Figure 14 — comparison of the three replication strategies.
+
+Paper: ME is stably best; RPP gives small but stable gains; FPR is
+unstable — good on short-query Amazon M2, poor (sometimes below the
+no-replica baseline) elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..metrics import evaluate_placement
+from ..types import EmbeddingSpec
+from .common import get_split_trace, layout_for
+from .report import ExperimentResult
+
+FIG14_DATASETS: Sequence[str] = ("alibaba_ifashion", "amazon_m2", "avazu")
+FIG14_RATIOS: Sequence[float] = (0.2, 0.4, 0.8)
+
+
+def run(
+    datasets: Sequence[str] = FIG14_DATASETS,
+    ratios: Sequence[float] = FIG14_RATIOS,
+    scale: str = "bench",
+    seed: int = 0,
+    dim: int = 64,
+    max_queries: Optional[int] = None,
+) -> ExperimentResult:
+    """Regenerate Figure 14: normalized bandwidth per (dataset, strategy, r)."""
+    spec = EmbeddingSpec(dim=dim)
+    headers = ["dataset", "strategy"] + [f"r{int(r * 100)}%" for r in ratios]
+    result = ExperimentResult(
+        exp_id="fig14",
+        title="Replication strategies: ME vs RPP vs FPR "
+        "(bandwidth normalized to SHP)",
+        headers=headers,
+        notes=(
+            "ME is the stable winner; RPP improves little; FPR is unstable "
+            "and only shines on the short-query dataset (Amazon M2)"
+        ),
+    )
+    for dataset in datasets:
+        _, live = get_split_trace(dataset, scale, seed)
+
+        def bandwidth(strategy: str, ratio: float) -> float:
+            layout = layout_for(dataset, strategy, ratio, scale, seed, dim)
+            return evaluate_placement(
+                layout,
+                live,
+                embedding_bytes=spec.embedding_bytes,
+                page_size=spec.page_size,
+                max_queries=max_queries,
+            ).effective_fraction()
+
+        base = bandwidth("none", 0.0)
+        for label, strategy in (
+            ("me", "maxembed"),
+            ("rpp", "rpp"),
+            ("fpr", "fpr"),
+        ):
+            row = [dataset, label]
+            for ratio in ratios:
+                value = bandwidth(strategy, ratio)
+                row.append(round(value / base, 3) if base else 0.0)
+            result.rows.append(row)
+    return result

@@ -1,0 +1,54 @@
+"""Experiment result container and text rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..utils.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table/figure.
+
+    Attributes:
+        exp_id: paper artifact id, e.g. ``"fig8"`` or ``"table1"``.
+        title: what the artifact shows.
+        headers: column names.
+        rows: table rows (figures become one row per x-point or series).
+        notes: qualitative-shape statement checked against the paper.
+    """
+
+    exp_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Render the result as a titled ASCII table."""
+        parts = [f"== {self.exp_id}: {self.title} =="]
+        parts.append(format_table(self.headers, self.rows))
+        if self.notes:
+            parts.append(f"shape: {self.notes}")
+        return "\n".join(parts)
+
+    def column(self, header: str) -> List[object]:
+        """Extract one column by header name (for assertions in benches)."""
+        index = list(self.headers).index(header)
+        return [row[index] for row in self.rows]
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table with a heading."""
+        lines = [f"### {self.exp_id}: {self.title}", ""]
+        lines.append("| " + " | ".join(str(h) for h in self.headers) + " |")
+        lines.append("|" + "---|" * len(self.headers))
+        for row in self.rows:
+            lines.append(
+                "| " + " | ".join(str(cell) for cell in row) + " |"
+            )
+        if self.notes:
+            lines.append("")
+            lines.append(f"*Shape:* {self.notes}")
+        return "\n".join(lines)

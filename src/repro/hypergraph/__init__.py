@@ -1,0 +1,25 @@
+"""Hypergraph substrate.
+
+Queries become hyperedges, embedding keys become vertices.  The offline
+phase (partitioning + replication) operates entirely on this structure.
+"""
+
+from .hypergraph import Hypergraph
+from .builder import build_hypergraph, build_weighted_hypergraph
+from .stats import HypergraphStats, compute_stats, vertex_cooccurrence
+from .io import load_hypergraph, save_hypergraph
+from .sampling import head_trace, sample_edges, sample_trace
+
+__all__ = [
+    "Hypergraph",
+    "build_hypergraph",
+    "build_weighted_hypergraph",
+    "HypergraphStats",
+    "compute_stats",
+    "vertex_cooccurrence",
+    "load_hypergraph",
+    "save_hypergraph",
+    "sample_edges",
+    "sample_trace",
+    "head_trace",
+]

@@ -1,0 +1,46 @@
+"""Hypergraph (de)serialization.
+
+The on-disk format is a compact JSON document::
+
+    {"num_vertices": N,
+     "edges": [[v, v, ...], ...],
+     "weights": [w, ...]}
+
+chosen over a binary format because partition inputs in this reproduction
+are laptop-scale and diffable artifacts help when debugging placements.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import HypergraphError
+from .hypergraph import Hypergraph
+
+PathLike = Union[str, Path]
+
+
+def save_hypergraph(graph: Hypergraph, path: PathLike) -> None:
+    """Write ``graph`` to ``path`` as JSON."""
+    document = {
+        "num_vertices": graph.num_vertices,
+        "edges": [list(e) for e in graph.edges()],
+        "weights": [graph.weight(i) for i in range(graph.num_edges)],
+    }
+    Path(path).write_text(json.dumps(document))
+
+
+def load_hypergraph(path: PathLike) -> Hypergraph:
+    """Read a hypergraph previously written by :func:`save_hypergraph`."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise HypergraphError(f"cannot load hypergraph from {path}: {exc}")
+    for field in ("num_vertices", "edges", "weights"):
+        if field not in document:
+            raise HypergraphError(f"hypergraph file missing field {field!r}")
+    return Hypergraph(
+        document["num_vertices"], document["edges"], document["weights"]
+    )

@@ -1,0 +1,26 @@
+"""Read amplification.
+
+The classic storage metric: bytes transferred divided by bytes requested.
+An ideal embedding store would transfer exactly the requested vectors;
+page-granular SSD reads inflate this by ``page_size / embedding_bytes`` in
+the worst case (one useful embedding per page).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+from .bandwidth import PlacementEvaluation
+
+
+def read_amplification(evaluation: PlacementEvaluation) -> float:
+    """Bytes read from SSD per byte of requested embeddings served.
+
+    1.0 is the (unreachable) ideal; the reciprocal of the effective
+    bandwidth fraction.
+    """
+    useful = evaluation.total_valid * evaluation.embedding_bytes
+    if useful == 0:
+        raise ConfigError(
+            "read amplification undefined: no embeddings were served"
+        )
+    return (evaluation.total_reads * evaluation.page_size) / useful

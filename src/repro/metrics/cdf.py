@@ -1,0 +1,28 @@
+"""Histogram / CDF helpers shared by figures 9 and the latency reports."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def histogram(values: Iterable[int]) -> Dict[int, int]:
+    """Exact integer histogram (value → count)."""
+    hist: Dict[int, int] = {}
+    for v in values:
+        hist[v] = hist.get(v, 0) + 1
+    return hist
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF of ``values`` as sorted (value, fraction ≤ value)."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, index / n)
+        else:
+            points.append((value, index / n))
+    return points

@@ -1,0 +1,45 @@
+"""Hypergraph partitioners.
+
+The paper's baseline placement pipeline is Bandana's: partition the query
+hypergraph with SHP (Social Hash Partitioner, Kabiljo et al. VLDB'17) into
+balanced clusters of at most ``d`` vertices, then store each cluster on one
+SSD page.  This package provides:
+
+* :class:`VanillaPlacement` — sequential key order, the "vanilla" baseline
+  of the paper's Figure 3;
+* :class:`RandomPartitioner` — random balanced assignment, used as the SHP
+  initializer and as an ablation baseline;
+* :class:`ShpPartitioner` — iterative, swap-based SHP minimizing the
+  connectivity (fanout) objective.
+"""
+
+from .base import PartitionResult, Partitioner
+from .metrics import (
+    edge_connectivities,
+    fanout_objective,
+    imbalance,
+    mean_connectivity,
+    total_connectivity,
+)
+from .multilevel import MultilevelConfig, MultilevelPartitioner
+from .random_partition import RandomPartitioner
+from .streaming import StreamingPartitioner
+from .shp import ShpConfig, ShpPartitioner
+from .vanilla import VanillaPlacement
+
+__all__ = [
+    "PartitionResult",
+    "Partitioner",
+    "VanillaPlacement",
+    "RandomPartitioner",
+    "ShpPartitioner",
+    "ShpConfig",
+    "MultilevelPartitioner",
+    "MultilevelConfig",
+    "StreamingPartitioner",
+    "edge_connectivities",
+    "total_connectivity",
+    "mean_connectivity",
+    "fanout_objective",
+    "imbalance",
+]

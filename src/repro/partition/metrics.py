@@ -1,0 +1,71 @@
+"""Partition quality metrics.
+
+The optimization target throughout the paper is hyperedge *connectivity*:
+``λ(e)`` is the number of distinct clusters the vertices of edge ``e``
+touch, which equals the number of SSD reads needed to serve query ``e``
+from a single-copy placement.  The paper's objective (and SHP's) is the
+weighted fanout ``Σ_e w(e) · (λ(e) − 1)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import PartitionError
+from ..hypergraph import Hypergraph
+
+
+def _check(graph: Hypergraph, assignment: Sequence[int]) -> None:
+    if len(assignment) != graph.num_vertices:
+        raise PartitionError(
+            f"assignment length {len(assignment)} != "
+            f"num_vertices {graph.num_vertices}"
+        )
+
+
+def edge_connectivities(
+    graph: Hypergraph, assignment: Sequence[int]
+) -> List[int]:
+    """λ(e) for every edge: distinct clusters spanned by its vertices."""
+    _check(graph, assignment)
+    return [len({assignment[v] for v in edge}) for edge in graph.edges()]
+
+
+def total_connectivity(graph: Hypergraph, assignment: Sequence[int]) -> int:
+    """Weighted sum of λ(e) — total SSD reads to serve the whole trace."""
+    lambdas = edge_connectivities(graph, assignment)
+    return sum(
+        lam * graph.weight(eid) for eid, lam in enumerate(lambdas)
+    )
+
+
+def fanout_objective(graph: Hypergraph, assignment: Sequence[int]) -> int:
+    """Weighted Σ (λ(e) − 1) — the SHP minimization objective."""
+    lambdas = edge_connectivities(graph, assignment)
+    return sum(
+        (lam - 1) * graph.weight(eid) for eid, lam in enumerate(lambdas)
+    )
+
+
+def mean_connectivity(graph: Hypergraph, assignment: Sequence[int]) -> float:
+    """Weighted mean λ(e) — average reads per (historical) query."""
+    lambdas = edge_connectivities(graph, assignment)
+    weights = [graph.weight(eid) for eid in range(graph.num_edges)]
+    return float(np.average(lambdas, weights=weights))
+
+
+def imbalance(assignment: Sequence[int], num_clusters: int) -> float:
+    """Max cluster size divided by the mean cluster size, minus 1.
+
+    0.0 is perfectly balanced; SHP's swap discipline keeps this constant
+    across iterations.
+    """
+    if num_clusters <= 0:
+        raise PartitionError(f"num_clusters must be positive, got {num_clusters}")
+    sizes = np.bincount(np.asarray(assignment), minlength=num_clusters)
+    mean = len(assignment) / num_clusters
+    if mean == 0:
+        return 0.0
+    return float(sizes.max() / mean - 1.0)

@@ -1,0 +1,336 @@
+"""Multilevel hypergraph partitioner (PaToH / KaHyPar family, simplified).
+
+The paper notes that all existing placement algorithms — SHP, PaToH,
+KaHyPar — attack the same NP-hard partitioning problem with different
+heuristics.  This module provides the classic **multilevel** scheme as an
+alternative to the SHP local search, so partitioner choice becomes an
+experiment rather than an assumption:
+
+1. **Coarsening** — repeatedly contract heavy-edge vertex pairs
+   (rating ``Σ_e w(e) / (|e| − 1)`` over shared edges), building a
+   hierarchy of progressively smaller hypergraphs.  Contracted vertices
+   carry weight = number of original vertices they represent, bounded so
+   a super-vertex always still fits in one page.
+2. **Initial partitioning** — greedy affinity placement of the coarsest
+   super-vertices: heaviest first, each into the cluster with the most
+   already-placed co-edge partners that still has room.
+3. **Uncoarsening + refinement** — project the assignment back level by
+   level; after each projection run bounded move-based refinement using
+   the exact fanout gain, moving vertices only into clusters with free
+   capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import PartitionError
+from ..hypergraph import Hypergraph
+from ..utils.rng import RngLike, make_rng
+from .base import PartitionResult, Partitioner
+
+
+@dataclass(frozen=True)
+class MultilevelConfig:
+    """Tuning knobs for :class:`MultilevelPartitioner`.
+
+    Attributes:
+        coarsen_factor: stop coarsening once the vertex count falls below
+            ``coarsen_factor × num_clusters``.
+        max_levels: hierarchy depth cap.
+        refine_rounds: move-refinement rounds after each projection.
+        seed: RNG seed (visit orders).
+    """
+
+    coarsen_factor: float = 4.0
+    max_levels: int = 12
+    refine_rounds: int = 2
+    seed: RngLike = 0
+
+    def __post_init__(self) -> None:
+        if self.coarsen_factor < 1.0:
+            raise PartitionError(
+                f"coarsen_factor must be >= 1, got {self.coarsen_factor}"
+            )
+        if self.max_levels < 1:
+            raise PartitionError(
+                f"max_levels must be >= 1, got {self.max_levels}"
+            )
+        if self.refine_rounds < 0:
+            raise PartitionError(
+                f"refine_rounds must be >= 0, got {self.refine_rounds}"
+            )
+
+
+@dataclass
+class _Level:
+    """One coarsening level: edges over super-vertices + vertex weights."""
+
+    edges: List[Tuple[List[int], int]]  # (vertex list, weight)
+    vertex_weight: List[int]
+    parent_of: List[int]  # fine vertex -> coarse vertex (next level)
+
+
+class MultilevelPartitioner(Partitioner):
+    """Coarsen → initial partition → uncoarsen with refinement."""
+
+    def __init__(self, config: "MultilevelConfig | None" = None) -> None:
+        self.config = config or MultilevelConfig()
+
+    # -- public API ----------------------------------------------------------
+
+    def partition(
+        self,
+        graph: Hypergraph,
+        capacity: int,
+        num_clusters: "int | None" = None,
+    ) -> PartitionResult:
+        clusters = self.resolve_num_clusters(graph, capacity, num_clusters)
+        rng = make_rng(self.config.seed)
+
+        # Level 0: the input graph (singleton edges carry no cut signal).
+        edges = [
+            (list(graph.edge(eid)), graph.weight(eid))
+            for eid in range(graph.num_edges)
+            if len(graph.edge(eid)) > 1
+        ]
+        weights = [1] * graph.num_vertices
+        levels: List[_Level] = []
+        current_edges = edges
+        current_weights = weights
+
+        target = max(clusters * self.config.coarsen_factor, clusters)
+        for _ in range(self.config.max_levels):
+            if len(current_weights) <= target:
+                break
+            level = self._coarsen(
+                current_edges, current_weights, capacity, rng
+            )
+            if level is None:
+                break
+            levels.append(level)
+            current_edges = level.edges
+            current_weights = level.vertex_weight
+
+        assignment, clusters = self._initial_partition(
+            current_edges, current_weights, clusters, capacity, rng
+        )
+        self._refine(
+            current_edges, current_weights, assignment, clusters, capacity
+        )
+
+        # Project back through the hierarchy, refining at each level.
+        for index in range(len(levels) - 1, -1, -1):
+            level = levels[index]
+            finer_n = len(level.parent_of)
+            assignment = [
+                assignment[level.parent_of[v]] for v in range(finer_n)
+            ]
+            if index > 0:
+                finer_edges = levels[index - 1].edges
+                finer_weights = levels[index - 1].vertex_weight
+            else:
+                finer_edges = edges
+                finer_weights = [1] * finer_n
+            self._refine(
+                finer_edges, finer_weights, assignment, clusters, capacity
+            )
+
+        return PartitionResult(assignment, clusters, capacity)
+
+    # -- coarsening ------------------------------------------------------------
+
+    @staticmethod
+    def _coarsen(
+        edges: List[Tuple[List[int], int]],
+        vertex_weight: List[int],
+        capacity: int,
+        rng,
+    ) -> "None | _Level":
+        """One heavy-edge-matching contraction; None if nothing contracts."""
+        n = len(vertex_weight)
+        ratings: Dict[int, Dict[int, float]] = {}
+        for vertices, weight in edges:
+            if len(vertices) < 2:
+                continue
+            score = weight / (len(vertices) - 1)
+            for i, u in enumerate(vertices):
+                for v in vertices[i + 1 :]:
+                    ratings.setdefault(u, {})[v] = (
+                        ratings.get(u, {}).get(v, 0.0) + score
+                    )
+                    ratings.setdefault(v, {})[u] = (
+                        ratings.get(v, {}).get(u, 0.0) + score
+                    )
+        matched = [False] * n
+        parent_of = [-1] * n
+        coarse_weights: List[int] = []
+        # Super-vertices are kept at half the page capacity so the initial
+        # bin packing has slack to avoid fragmentation failures.
+        weight_cap = max(2, capacity // 2) if capacity >= 4 else capacity
+        # Visit heaviest-rated vertices first so the strongest pairs merge
+        # before a weakly-related neighbour can steal one of them.
+        max_rating = [
+            max(ratings.get(v, {}).values(), default=0.0) for v in range(n)
+        ]
+        order = sorted(range(n), key=lambda v: (-max_rating[v], v))
+        for u in order:
+            if matched[u]:
+                continue
+            best = None
+            best_rating = 0.0
+            for v, rating in ratings.get(u, {}).items():
+                if matched[v]:
+                    continue
+                if vertex_weight[u] + vertex_weight[v] > weight_cap:
+                    continue  # keep super-vertices packable
+                if rating > best_rating or (
+                    rating == best_rating and best is not None and v < best
+                ):
+                    best = v
+                    best_rating = rating
+            coarse_id = len(coarse_weights)
+            if best is None:
+                matched[u] = True
+                parent_of[u] = coarse_id
+                coarse_weights.append(vertex_weight[u])
+            else:
+                matched[u] = matched[best] = True
+                parent_of[u] = parent_of[best] = coarse_id
+                coarse_weights.append(vertex_weight[u] + vertex_weight[best])
+        if len(coarse_weights) >= n:  # no contraction happened
+            return None
+        coarse_edges: List[Tuple[List[int], int]] = []
+        for vertices, weight in edges:
+            projected = list(dict.fromkeys(parent_of[v] for v in vertices))
+            if len(projected) > 1:
+                coarse_edges.append((projected, weight))
+        return _Level(
+            edges=coarse_edges,
+            vertex_weight=coarse_weights,
+            parent_of=parent_of,
+        )
+
+    # -- initial partition ---------------------------------------------------------
+
+    @staticmethod
+    def _initial_partition(
+        edges: List[Tuple[List[int], int]],
+        vertex_weight: Sequence[int],
+        num_clusters: int,
+        capacity: int,
+        rng,
+    ) -> Tuple[List[int], int]:
+        """Greedy affinity placement of the coarsest vertices.
+
+        Returns ``(assignment, clusters_used)``.  Tight variable-weight
+        bin packing can fragment; rather than fail, an overflow cluster is
+        opened (multilevel partitioners normally run with an imbalance
+        allowance ε — a hard per-page capacity is exactly why the paper's
+        swap-based SHP fits this problem so naturally).
+        """
+        n = len(vertex_weight)
+        incident: Dict[int, List[int]] = {}
+        for index, (vertices, _) in enumerate(edges):
+            for v in vertices:
+                incident.setdefault(v, []).append(index)
+        load = [0] * num_clusters
+        assignment = [-1] * n
+        order = sorted(range(n), key=lambda v: -vertex_weight[v])
+        for v in order:
+            affinity: Dict[int, int] = {}
+            for eid in incident.get(v, ()):
+                vertices, weight = edges[eid]
+                for other in vertices:
+                    cluster = assignment[other]
+                    if cluster >= 0:
+                        affinity[cluster] = affinity.get(cluster, 0) + weight
+            best = -1
+            best_score = (-1, 0)
+            for cluster in range(len(load)):
+                if load[cluster] + vertex_weight[v] > capacity:
+                    continue
+                score = (affinity.get(cluster, 0), -load[cluster])
+                if best < 0 or score > best_score:
+                    best = cluster
+                    best_score = score
+            if best < 0:
+                load.append(0)  # fragmentation: open an overflow cluster
+                best = len(load) - 1
+            assignment[v] = best
+            load[best] += vertex_weight[v]
+        return assignment, len(load)
+
+    # -- refinement -------------------------------------------------------------------
+
+    def _refine(
+        self,
+        edges: List[Tuple[List[int], int]],
+        vertex_weight: Sequence[int],
+        assignment: List[int],
+        num_clusters: int,
+        capacity: int,
+    ) -> None:
+        """Bounded move refinement with exact fanout gains (in place)."""
+        if not edges or self.config.refine_rounds == 0:
+            return
+        incident: Dict[int, List[int]] = {}
+        edge_counts: List[Dict[int, int]] = []
+        for index, (vertices, _) in enumerate(edges):
+            hist: Dict[int, int] = {}
+            for v in vertices:
+                hist[assignment[v]] = hist.get(assignment[v], 0) + 1
+                incident.setdefault(v, []).append(index)
+            edge_counts.append(hist)
+        load = [0] * num_clusters
+        for v, cluster in enumerate(assignment):
+            load[cluster] += vertex_weight[v]
+
+        for _ in range(self.config.refine_rounds):
+            moved = 0
+            for v in incident:
+                source = assignment[v]
+                presence: Dict[int, int] = {}
+                lonely = 0
+                total = 0
+                for eid in incident[v]:
+                    vertices, weight = edges[eid]
+                    hist = edge_counts[eid]
+                    total += weight
+                    if hist.get(source, 0) == 1:
+                        lonely += weight
+                    for cluster in hist:
+                        if cluster != source:
+                            presence[cluster] = (
+                                presence.get(cluster, 0) + weight
+                            )
+                best_target = -1
+                best_gain = 0
+                for target, shared in presence.items():
+                    if load[target] + vertex_weight[v] > capacity:
+                        continue
+                    gain = lonely - (total - shared)
+                    if gain > best_gain or (
+                        gain == best_gain
+                        and best_target >= 0
+                        and target < best_target
+                    ):
+                        best_target = target
+                        best_gain = gain
+                if best_target < 0 or best_gain <= 0:
+                    continue
+                assignment[v] = best_target
+                load[source] -= vertex_weight[v]
+                load[best_target] += vertex_weight[v]
+                for eid in incident[v]:
+                    hist = edge_counts[eid]
+                    remaining = hist[source] - 1
+                    if remaining:
+                        hist[source] = remaining
+                    else:
+                        del hist[source]
+                    hist[best_target] = hist.get(best_target, 0) + 1
+                moved += 1
+            if moved == 0:
+                break

@@ -1,0 +1,34 @@
+"""Random balanced partitioning.
+
+Used in two roles: the initial state of the SHP local search (the SHP paper
+also starts from a random balanced assignment) and as an ablation floor in
+the benchmarks — any co-appearance-aware placement should beat it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hypergraph import Hypergraph
+from ..utils.rng import RngLike, make_rng
+from .base import PartitionResult, Partitioner, sequential_assignment
+
+
+class RandomPartitioner(Partitioner):
+    """Shuffle vertices, then cut the shuffled order into equal blocks."""
+
+    def __init__(self, seed: RngLike = None) -> None:
+        self._rng = make_rng(seed)
+
+    def partition(
+        self,
+        graph: Hypergraph,
+        capacity: int,
+        num_clusters: "int | None" = None,
+    ) -> PartitionResult:
+        clusters = self.resolve_num_clusters(graph, capacity, num_clusters)
+        order = self._rng.permutation(graph.num_vertices)
+        blocks = sequential_assignment(graph.num_vertices, capacity, clusters)
+        assignment = np.empty(graph.num_vertices, dtype=np.int64)
+        assignment[order] = blocks
+        return PartitionResult(assignment.tolist(), clusters, capacity)

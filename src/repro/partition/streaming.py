@@ -1,0 +1,83 @@
+"""Streaming hypergraph partitioner (Fennel-family, one pass).
+
+SHP and the multilevel partitioner need the whole log in hand.  A new
+deployment has no log yet — embeddings arrive with the first queries.  A
+*streaming* partitioner assigns each vertex on first sight, in one pass
+over the edge stream, using greedy affinity with a capacity constraint:
+place the vertex in the cluster already holding most of its co-edge
+partners, subject to space; break ties toward the emptiest cluster.
+
+Quality sits between random and the offline algorithms — exactly the
+bootstrap placement the system can run with until enough history
+accumulates for a proper offline pass (see the drift/deploy machinery
+for the swap).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import PartitionError
+from ..hypergraph import Hypergraph
+from .base import PartitionResult, Partitioner
+
+
+class StreamingPartitioner(Partitioner):
+    """One-pass greedy affinity assignment over the edge stream."""
+
+    def __init__(self, balance_weight: float = 0.5) -> None:
+        """Args:
+        balance_weight: pressure toward empty clusters, in affinity
+            units per occupied slot fraction.  0 is pure affinity
+            (degenerates to one giant cluster until full); higher values
+            spread load earlier.
+        """
+        if balance_weight < 0:
+            raise PartitionError(
+                f"balance_weight must be >= 0, got {balance_weight}"
+            )
+        self.balance_weight = balance_weight
+
+    def partition(
+        self,
+        graph: Hypergraph,
+        capacity: int,
+        num_clusters: "int | None" = None,
+    ) -> PartitionResult:
+        clusters = self.resolve_num_clusters(graph, capacity, num_clusters)
+        assignment = [-1] * graph.num_vertices
+        load = [0] * clusters
+
+        def place(vertex: int, peers: List[int]) -> None:
+            affinity: Dict[int, float] = {}
+            for peer in peers:
+                cluster = assignment[peer]
+                if cluster >= 0:
+                    affinity[cluster] = affinity.get(cluster, 0.0) + 1.0
+            best = -1
+            best_score = float("-inf")
+            for cluster in range(clusters):
+                if load[cluster] >= capacity:
+                    continue
+                score = affinity.get(cluster, 0.0) - (
+                    self.balance_weight * load[cluster] / capacity
+                )
+                if score > best_score:
+                    best = cluster
+                    best_score = score
+            if best < 0:  # pragma: no cover - capacity math guarantees room
+                raise PartitionError("no cluster has room left")
+            assignment[vertex] = best
+            load[best] += 1
+
+        # One pass over the edge stream, in log order.
+        for edge in graph.edges():
+            members = list(edge)
+            for vertex in members:
+                if assignment[vertex] < 0:
+                    place(vertex, members)
+        # Vertices never observed in any edge fill the remaining slots.
+        for vertex in range(graph.num_vertices):
+            if assignment[vertex] < 0:
+                place(vertex, [])
+        return PartitionResult(assignment, clusters, capacity)

@@ -1,0 +1,31 @@
+"""Vanilla placement: keys laid out sequentially on SSD pages.
+
+This is the "vanilla" baseline of the paper's Figure 3: embedding ``v``
+lives on page ``v // d``.  It ignores the query log entirely, so any
+co-appearance locality it captures is accidental (adjacent key ids).
+"""
+
+from __future__ import annotations
+
+from ..hypergraph import Hypergraph
+from .base import (
+    PartitionResult,
+    Partitioner,
+    sequential_assignment,
+)
+
+
+class VanillaPlacement(Partitioner):
+    """Assign vertex ``v`` to cluster ``v // block``, preserving key order."""
+
+    def partition(
+        self,
+        graph: Hypergraph,
+        capacity: int,
+        num_clusters: "int | None" = None,
+    ) -> PartitionResult:
+        clusters = self.resolve_num_clusters(graph, capacity, num_clusters)
+        assignment = sequential_assignment(
+            graph.num_vertices, capacity, clusters
+        )
+        return PartitionResult(assignment, clusters, capacity)

@@ -1,0 +1,118 @@
+"""Layout diagnostics: is the replica budget being spent well?
+
+Operators tuning ``r`` need to see *where* the space goes:
+
+* **slot utilization** — fraction of page slots actually filled (replica
+  pages built from short co-occurrence lists can run under capacity);
+* **replica redundancy** — how much replica pages overlap each other
+  (pairwise Jaccard): overlap is budget spent re-covering the same keys;
+* **hot-pair coverage** — of the most frequently co-read key pairs, how
+  many are co-located on at least one page (the quantity replication
+  exists to raise).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..errors import PlacementError
+from ..types import QueryTrace
+from .layout import PageLayout
+
+
+@dataclass(frozen=True)
+class LayoutReport:
+    """Summary diagnostics of one layout."""
+
+    num_pages: int
+    num_base_pages: int
+    num_replica_pages: int
+    slot_utilization: float
+    replica_slot_utilization: float
+    mean_replica_overlap: float
+    max_replica_count: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat mapping for report rendering."""
+        return {
+            "num_pages": self.num_pages,
+            "num_base_pages": self.num_base_pages,
+            "num_replica_pages": self.num_replica_pages,
+            "slot_utilization": self.slot_utilization,
+            "replica_slot_utilization": self.replica_slot_utilization,
+            "mean_replica_overlap": self.mean_replica_overlap,
+            "max_replica_count": self.max_replica_count,
+        }
+
+
+def layout_report(layout: PageLayout) -> LayoutReport:
+    """Compute :class:`LayoutReport` for ``layout``."""
+    total_slots = layout.num_pages * layout.capacity
+    used = layout.total_slots_used()
+    replica_pages = [
+        layout.page(p)
+        for p in range(layout.num_base_pages, layout.num_pages)
+    ]
+    replica_used = sum(len(p) for p in replica_pages)
+    replica_slots = len(replica_pages) * layout.capacity
+    overlap = _mean_pairwise_overlap(replica_pages)
+    counts = layout.replica_counts()
+    return LayoutReport(
+        num_pages=layout.num_pages,
+        num_base_pages=layout.num_base_pages,
+        num_replica_pages=layout.num_replica_pages,
+        slot_utilization=used / total_slots if total_slots else 0.0,
+        replica_slot_utilization=(
+            replica_used / replica_slots if replica_slots else 1.0
+        ),
+        mean_replica_overlap=overlap,
+        max_replica_count=max(counts) if counts else 0,
+    )
+
+
+def _mean_pairwise_overlap(pages: List[Tuple[int, ...]]) -> float:
+    """Mean Jaccard similarity over replica-page pairs (sampled cap)."""
+    if len(pages) < 2:
+        return 0.0
+    sets = [set(p) for p in pages]
+    total = 0.0
+    count = 0
+    # All pairs up to a cap that keeps this O(10^4) set-ops.
+    limit = 150
+    sample = sets[:limit]
+    for i, a in enumerate(sample):
+        for b in sample[i + 1 :]:
+            union = len(a | b)
+            if union:
+                total += len(a & b) / union
+            count += 1
+    return total / count if count else 0.0
+
+
+def hot_pair_coverage(
+    layout: PageLayout, trace: QueryTrace, top_pairs: int = 200
+) -> float:
+    """Fraction of the trace's hottest co-read pairs co-located on a page."""
+    if top_pairs <= 0:
+        raise PlacementError(f"top_pairs must be positive, got {top_pairs}")
+    if trace.num_keys != layout.num_keys:
+        raise PlacementError("trace and layout must share a key space")
+    pair_counts: Counter = Counter()
+    for query in trace:
+        keys = sorted(query.unique_keys())
+        for i, a in enumerate(keys):
+            for b in keys[i + 1 :]:
+                pair_counts[(a, b)] += 1
+    hottest = [p for p, _ in pair_counts.most_common(top_pairs)]
+    if not hottest:
+        return 0.0
+    colocated: Set[FrozenSet[int]] = set()
+    for page in layout.pages():
+        members = sorted(page)
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                colocated.add(frozenset((a, b)))
+    covered = sum(1 for p in hottest if frozenset(p) in colocated)
+    return covered / len(hottest)

@@ -1,0 +1,46 @@
+"""Layout (de)serialization.
+
+Layouts are the hand-off artifact between the offline and online phases
+(the paper ships partition results from the Hadoop SHP job to the serving
+hosts); persisting them lets the expensive offline pass be reused across
+serving runs and experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import PlacementError
+from .layout import PageLayout
+
+PathLike = Union[str, Path]
+
+
+def save_layout(layout: PageLayout, path: PathLike) -> None:
+    """Write ``layout`` to ``path`` as JSON."""
+    document = {
+        "num_keys": layout.num_keys,
+        "capacity": layout.capacity,
+        "num_base_pages": layout.num_base_pages,
+        "pages": [list(p) for p in layout.pages()],
+    }
+    Path(path).write_text(json.dumps(document))
+
+
+def load_layout(path: PathLike) -> PageLayout:
+    """Read a layout previously written by :func:`save_layout`."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PlacementError(f"cannot load layout from {path}: {exc}")
+    for field in ("num_keys", "capacity", "num_base_pages", "pages"):
+        if field not in document:
+            raise PlacementError(f"layout file missing field {field!r}")
+    return PageLayout(
+        num_keys=document["num_keys"],
+        capacity=document["capacity"],
+        pages=document["pages"],
+        num_base_pages=document["num_base_pages"],
+    )

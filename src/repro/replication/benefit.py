@@ -1,0 +1,148 @@
+"""Greedy marginal-benefit replication (extension beyond the paper).
+
+The paper's connectivity-priority strategy scores vertices once and
+replicates the top ``rN/d`` — but two high-scoring vertices may buy
+overlapping benefit (their replica pages co-locate the same pairs).  This
+strategy spends the same budget greedily on *marginal* gain:
+
+1. For every vertex, build its candidate replica page (base + most
+   frequent co-partners, excluding home-cluster co-residents) and price
+   it by the total trace weight of the **not-yet-co-located pairs** it
+   would newly co-locate.
+2. Repeatedly emit the highest-priced page, mark its pairs as co-located,
+   and lazily re-price candidates (standard lazy-greedy: a stale price is
+   only ever an over-estimate, so re-evaluating the queue head until it
+   stays on top yields the true maximum).
+
+This is the submodular-maximization view of Rep-MBEP; the paper's one-
+shot scoring is its cheap approximation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from ..hypergraph import Hypergraph, vertex_cooccurrence
+from ..placement import PageLayout, layout_from_partition
+from .base import ReplicationStrategy
+
+
+class GreedyBenefitStrategy(ReplicationStrategy):
+    """Lazy-greedy replica page selection by marginal co-location benefit."""
+
+    def __init__(self, partitioner=None, exclude_home_cluster: bool = True):
+        super().__init__(partitioner)
+        self.exclude_home_cluster = exclude_home_cluster
+
+    def build_layout(
+        self, graph: Hypergraph, capacity: int, ratio: float
+    ) -> PageLayout:
+        self.check_ratio(ratio)
+        result = self.partitioner.partition(graph, capacity)
+        budget = self.replica_page_budget(graph.num_vertices, capacity, ratio)
+        pages = self._greedy_pages(
+            graph, result.assignment, capacity, budget
+        )
+        return layout_from_partition(result, pages)
+
+    # -- candidate construction ------------------------------------------------
+
+    def _candidate_page(
+        self,
+        graph: Hypergraph,
+        assignment: List[int],
+        capacity: int,
+        base: int,
+    ) -> Tuple[int, ...]:
+        cooccurrence = vertex_cooccurrence(graph, base)
+        home = assignment[base]
+        ranked = sorted(
+            (
+                (count, -v, v)
+                for v, count in cooccurrence.items()
+                if not (self.exclude_home_cluster and assignment[v] == home)
+            ),
+            reverse=True,
+        )
+        companions = [v for _, _, v in ranked[: capacity - 1]]
+        return tuple([base] + companions)
+
+    @staticmethod
+    def _pair_weights(graph: Hypergraph) -> Dict[FrozenSet[int], int]:
+        """Trace weight of every co-occurring pair."""
+        weights: Dict[FrozenSet[int], int] = {}
+        for _, edge, weight in graph.edge_items():
+            for i, a in enumerate(edge):
+                for b in edge[i + 1 :]:
+                    pair = frozenset((a, b))
+                    weights[pair] = weights.get(pair, 0) + weight
+        return weights
+
+    def _page_price(
+        self,
+        page: Tuple[int, ...],
+        pair_weights: Dict[FrozenSet[int], int],
+        colocated: Set[FrozenSet[int]],
+    ) -> int:
+        price = 0
+        for i, a in enumerate(page):
+            for b in page[i + 1 :]:
+                pair = frozenset((a, b))
+                if pair not in colocated:
+                    price += pair_weights.get(pair, 0)
+        return price
+
+    # -- lazy greedy ----------------------------------------------------------------
+
+    def _greedy_pages(
+        self,
+        graph: Hypergraph,
+        assignment: List[int],
+        capacity: int,
+        budget: int,
+    ) -> List[Tuple[int, ...]]:
+        if budget <= 0:
+            return []
+        pair_weights = self._pair_weights(graph)
+        # Pairs already co-located by the base partition.
+        colocated: Set[FrozenSet[int]] = {
+            pair
+            for pair in pair_weights
+            if len({assignment[v] for v in pair}) == 1
+        }
+        candidates: Dict[int, Tuple[int, ...]] = {}
+        heap: List[Tuple[int, int]] = []  # (-price, base)
+        for base in range(graph.num_vertices):
+            if not graph.vertex_edges(base):
+                continue
+            page = self._candidate_page(graph, assignment, capacity, base)
+            if len(page) < 2:
+                continue
+            candidates[base] = page
+            price = self._page_price(page, pair_weights, colocated)
+            if price > 0:
+                heapq.heappush(heap, (-price, base))
+        pages: List[Tuple[int, ...]] = []
+        seen: Set[FrozenSet[int]] = set()
+        while heap and len(pages) < budget:
+            neg_price, base = heapq.heappop(heap)
+            current = self._page_price(
+                candidates[base], pair_weights, colocated
+            )
+            if current <= 0:
+                continue
+            if current < -neg_price:
+                # Stale price: re-queue with the fresh (lower) value.
+                heapq.heappush(heap, (-current, base))
+                continue
+            page = candidates[base]
+            canon = frozenset(page)
+            if canon in seen:
+                continue
+            seen.add(canon)
+            pages.append(page)
+            for i, a in enumerate(page):
+                for b in page[i + 1 :]:
+                    colocated.add(frozenset((a, b)))
+        return pages

@@ -1,0 +1,125 @@
+"""Connectivity-priority replication — the MaxEmbed solution (paper §5.3).
+
+Algorithm (verbatim from the paper):
+
+1. Partition the hypergraph with vanilla SHP.
+2. Score every vertex: ``score(v) = Σ_{e ∋ v} (λ(e) − 1)``.
+3. Select the top ``r·N/d`` scored vertices.
+4. For each selected *base* vertex, find its ``d − 1`` most frequent
+   co-appearing neighbours by traversing its incident hyperedges —
+   excluding vertices already assigned to the base's cluster in step 1 —
+   and emit one replica page holding the base plus those neighbours.
+
+Because replication happens *after* partitioning, the base placement is
+untouched: replica pages strictly add combinations.  Excluding
+home-cluster co-residents avoids wasting replica slots on pairs that a
+single page read already serves.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import ConfigError
+from ..hypergraph import Hypergraph, vertex_cooccurrence
+from ..placement import PageLayout, layout_from_partition
+from .base import ReplicationStrategy
+from .scoring import connectivity_scores, hotness_scores, top_scored_vertices
+
+
+class ConnectivityPriorityStrategy(ReplicationStrategy):
+    """Partition first, then replicate high-(λ−1)-score vertices."""
+
+    def __init__(
+        self,
+        partitioner=None,
+        exclude_home_cluster: bool = True,
+        dedupe_pages: bool = True,
+        scoring: str = "connectivity",
+    ) -> None:
+        """Args:
+        partitioner: base partitioner (defaults to SHP).
+        exclude_home_cluster: paper behaviour — replica pages skip
+            neighbours already co-located with the base vertex.  Disabling
+            this is the DESIGN.md ablation #3.
+        dedupe_pages: drop a replica page whose key set duplicates an
+            earlier page (duplicates waste space without adding any new
+            combination).
+        scoring: ``"connectivity"`` (the paper's Σ(λ−1) score) or
+            ``"hotness"`` (pure degree — DESIGN.md ablation #2, which
+            degenerates the selection toward RPP's).
+        """
+        super().__init__(partitioner)
+        if scoring not in ("connectivity", "hotness"):
+            raise ConfigError(
+                f"scoring must be 'connectivity' or 'hotness', got {scoring!r}"
+            )
+        self.exclude_home_cluster = exclude_home_cluster
+        self.dedupe_pages = dedupe_pages
+        self.scoring = scoring
+
+    def build_layout(
+        self, graph: Hypergraph, capacity: int, ratio: float
+    ) -> PageLayout:
+        self.check_ratio(ratio)
+        result = self.partitioner.partition(graph, capacity)
+        budget = self.replica_page_budget(
+            graph.num_vertices, capacity, ratio
+        )
+        replica_pages = self.build_replica_pages(
+            graph, result.assignment, capacity, budget
+        )
+        return layout_from_partition(result, replica_pages)
+
+    # -- replica construction ------------------------------------------------
+
+    def build_replica_pages(
+        self,
+        graph: Hypergraph,
+        assignment: List[int],
+        capacity: int,
+        budget: int,
+    ) -> List[Tuple[int, ...]]:
+        """Steps 2–4: score, select bases, emit one replica page per base."""
+        if budget <= 0:
+            return []
+        if self.scoring == "connectivity":
+            scores = connectivity_scores(graph, assignment)
+        else:
+            scores = hotness_scores(graph)
+        bases = top_scored_vertices(scores, budget)
+        pages: List[Tuple[int, ...]] = []
+        seen = set()
+        for base in bases:
+            page = self._replica_page_for(graph, assignment, capacity, base)
+            if len(page) < 2:
+                # A lone base replicates nothing useful: a base-only page
+                # cannot serve any *combination* a home page read wouldn't.
+                continue
+            canon = frozenset(page)
+            if self.dedupe_pages and canon in seen:
+                continue
+            seen.add(canon)
+            pages.append(page)
+            if len(pages) >= budget:
+                break
+        return pages
+
+    def _replica_page_for(
+        self,
+        graph: Hypergraph,
+        assignment: List[int],
+        capacity: int,
+        base: int,
+    ) -> Tuple[int, ...]:
+        """One replica page: base + its d−1 most frequent co-neighbours."""
+        cooccurrence = vertex_cooccurrence(graph, base)
+        home = assignment[base]
+        candidates = [
+            (count, -neighbour, neighbour)
+            for neighbour, count in cooccurrence.items()
+            if not (self.exclude_home_cluster and assignment[neighbour] == home)
+        ]
+        candidates.sort(reverse=True)
+        companions = [n for _, _, n in candidates[: capacity - 1]]
+        return tuple([base] + companions)

@@ -1,0 +1,75 @@
+"""Strawman 2: Finer-Partition and fill with Replication (paper §5.2).
+
+Partition the hypergraph directly into ``(1 + r) · N / d`` clusters — more
+and therefore smaller than the ``N / d`` a plain partition would use — then
+top each cluster back up to ``d`` keys with replicas of the vertices that
+most frequently co-appear with the cluster's members.
+
+The paper finds this unstable: the finer partition can destroy strong
+original combinations (long queries get split), and only short-query
+datasets (Amazon M2) escape the damage.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import List, Tuple
+
+from ..hypergraph import Hypergraph
+from ..placement import PageLayout
+from .base import ReplicationStrategy
+
+
+class FprStrategy(ReplicationStrategy):
+    """Finer partition, then refill each cluster with co-appearing replicas."""
+
+    def build_layout(
+        self, graph: Hypergraph, capacity: int, ratio: float
+    ) -> PageLayout:
+        self.check_ratio(ratio)
+        num_clusters = max(
+            math.ceil(graph.num_vertices / capacity),
+            math.ceil((1 + ratio) * graph.num_vertices / capacity),
+        )
+        result = self.partitioner.partition(
+            graph, capacity, num_clusters=num_clusters
+        )
+        pages: List[Tuple[int, ...]] = []
+        for cluster in result.clusters():
+            if not cluster:
+                continue
+            pages.append(self._fill(graph, cluster, capacity))
+        return PageLayout(
+            num_keys=graph.num_vertices,
+            capacity=capacity,
+            pages=pages,
+            num_base_pages=len(pages),
+        )
+
+    @staticmethod
+    def _fill(
+        graph: Hypergraph, cluster: List[int], capacity: int
+    ) -> Tuple[int, ...]:
+        """Top a cluster up to ``capacity`` with most-co-appearing outsiders."""
+        members = set(cluster)
+        free = capacity - len(cluster)
+        if free <= 0:
+            return tuple(cluster)
+        counts: Counter = Counter()
+        edge_ids = set()
+        for v in cluster:
+            edge_ids.update(graph.vertex_edges(v))
+        for eid in edge_ids:
+            weight = graph.weight(eid)
+            inside = sum(1 for v in graph.edge(eid) if v in members)
+            for v in graph.edge(eid):
+                if v not in members:
+                    counts[v] += weight * inside
+        fillers = [
+            v
+            for v, _ in sorted(
+                counts.items(), key=lambda item: (-item[1], item[0])
+            )[:free]
+        ]
+        return tuple(cluster + fillers)

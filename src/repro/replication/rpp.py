@@ -1,0 +1,69 @@
+"""Strawman 1: Replication Prior to Partition (paper §5.1).
+
+Replicate the hottest ``r · N`` vertices *before* partitioning: each
+replica is a fresh vertex attached to the same hyperedges as its original,
+and the expanded hypergraph is handed to SHP, which decides where copies
+land.  The paper finds this ineffective because (a) hotness alone ignores
+adjacency — a replicated vertex may land with strangers — and (b) nothing
+prevents SHP from co-locating a copy with the original, duplicating a
+combination and wasting space.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..hypergraph import Hypergraph
+from ..placement import PageLayout
+from .base import ReplicationStrategy
+from .scoring import hotness_scores, top_scored_vertices
+
+
+class RppStrategy(ReplicationStrategy):
+    """Clone the hottest vertices, then let the partitioner place everything."""
+
+    def build_layout(
+        self, graph: Hypergraph, capacity: int, ratio: float
+    ) -> PageLayout:
+        self.check_ratio(ratio)
+        num_replicas = math.floor(ratio * graph.num_vertices)
+        expanded, origin = self._expand(graph, num_replicas)
+        result = self.partitioner.partition(expanded, capacity)
+        pages: List[tuple] = []
+        for cluster in result.clusters():
+            if not cluster:
+                continue
+            # Map replica vertices back to their original key; a cluster
+            # holding both copies of one key keeps a single slot for it.
+            keys = tuple(dict.fromkeys(origin[v] for v in cluster))
+            pages.append(keys)
+        return PageLayout(
+            num_keys=graph.num_vertices,
+            capacity=capacity,
+            pages=pages,
+            num_base_pages=len(pages),
+        )
+
+    @staticmethod
+    def _expand(graph: Hypergraph, num_replicas: int):
+        """Clone the hottest vertices into a larger hypergraph.
+
+        Returns ``(expanded_graph, origin)`` where ``origin[v]`` maps every
+        expanded-graph vertex back to the original key id.
+        """
+        hot = top_scored_vertices(hotness_scores(graph), num_replicas)
+        origin = list(range(graph.num_vertices))
+        clone_of = {}
+        for v in hot:
+            clone_of[v] = len(origin)
+            origin.append(v)
+        edges = []
+        weights = []
+        for _, edge, weight in graph.edge_items():
+            extended = list(edge)
+            extended.extend(clone_of[v] for v in edge if v in clone_of)
+            edges.append(extended)
+            weights.append(weight)
+        expanded = Hypergraph(len(origin), edges, weights)
+        return expanded, origin

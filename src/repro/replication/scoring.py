@@ -1,0 +1,57 @@
+"""Vertex scoring for replica selection.
+
+The MaxEmbed score (paper §5.3) couples hotness and residual connectivity::
+
+    score(v) = Σ_{e ∈ related_edges(v)} (λ(e) − 1)
+
+where ``λ(e)`` is the number of clusters edge ``e`` spans under the base
+partition.  A vertex scores high when it appears in many queries (hotness)
+*and* those queries still need multiple SSD reads (connectivity) — exactly
+the vertices whose replication can remove reads.
+
+``hotness_scores`` (plain weighted degree) is kept for the RPP strawman
+and as a scoring ablation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..hypergraph import Hypergraph
+from ..partition import edge_connectivities
+
+
+def connectivity_scores(
+    graph: Hypergraph, assignment: Sequence[int]
+) -> List[int]:
+    """MaxEmbed §5.3 score: Σ over incident edges of weight · (λ − 1)."""
+    lambdas = edge_connectivities(graph, assignment)
+    scores = [0] * graph.num_vertices
+    for eid, edge, weight in graph.edge_items():
+        contribution = (lambdas[eid] - 1) * weight
+        if contribution == 0:
+            continue
+        for v in edge:
+            scores[v] += contribution
+    return scores
+
+
+def hotness_scores(graph: Hypergraph) -> List[int]:
+    """Pure popularity: weighted degree of each vertex."""
+    return graph.degrees()
+
+
+def top_scored_vertices(scores: Sequence[int], count: int) -> List[int]:
+    """Indices of the ``count`` highest scores, ties broken by lower id.
+
+    Vertices with a zero score are excluded — replicating a vertex whose
+    every query is already served by one page (or that never appears)
+    cannot reduce any read.
+    """
+    if count <= 0:
+        return []
+    ranked = sorted(
+        (v for v, s in enumerate(scores) if s > 0),
+        key=lambda v: (-scores[v], v),
+    )
+    return ranked[:count]

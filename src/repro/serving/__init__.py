@@ -1,0 +1,53 @@
+"""Online phase: query request processing (paper §6).
+
+With replication, choosing the minimal page set covering a query is set
+cover.  This package provides:
+
+* :class:`GreedySetCoverSelector` — the near-optimal but expensive greedy
+  baseline (O(|S|·|Q|) set operations per query);
+* :class:`OnePassSelector` — MaxEmbed's §6.1 algorithm: sort keys by
+  ascending replica count, then for each uncovered key pick the best of
+  its (index-limited) candidate pages;
+* :class:`SerialExecutor` / :class:`PipelinedExecutor` — §6.2: overlap
+  page selection with asynchronous SSD reads or run them back-to-back;
+* :class:`ServingEngine` — cache → selection → SSD, producing per-query
+  timing breakdowns and trace-level throughput/latency reports.
+"""
+
+from .selection import (
+    GreedySetCoverSelector,
+    OnePassSelector,
+    SelectionOutcome,
+    SelectionStep,
+    Selector,
+)
+from .cost_model import CpuCostModel
+from .executor import ExecutionResult, Executor, PipelinedExecutor, SerialExecutor
+from .engine import EngineConfig, QueryResult, ServingEngine
+from .stats import ServingReport, aggregate_results
+from .batch import BatchResult, BatchServer, batching_summary
+from .openloop import OpenLoopReport, OpenLoopResult, OpenLoopSimulator
+
+__all__ = [
+    "Selector",
+    "SelectionStep",
+    "SelectionOutcome",
+    "GreedySetCoverSelector",
+    "OnePassSelector",
+    "CpuCostModel",
+    "Executor",
+    "SerialExecutor",
+    "PipelinedExecutor",
+    "ExecutionResult",
+    "ServingEngine",
+    "EngineConfig",
+    "QueryResult",
+    "ServingReport",
+    "aggregate_results",
+    "BatchServer",
+    "BatchResult",
+    "batching_summary",
+    "OpenLoopSimulator",
+    "OpenLoopReport",
+    "OpenLoopResult",
+]

@@ -1,0 +1,214 @@
+"""The serving engine: cache → page selection → simulated SSD.
+
+:class:`ServingEngine` wires a page layout to the full online stack of the
+paper: the DRAM cache absorbs hot keys, the selector picks replica pages
+for the misses, and an executor runs the reads against a simulated device.
+``serve_trace`` simulates a closed-loop multi-threaded client (the paper
+runs 8 serving threads): each simulated thread serves one query at a time,
+all threads share one device, and throughput is queries over makespan.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..cache import EmbeddingCache
+from ..errors import ServingError
+from ..placement import ForwardIndex, InvertIndex, PageLayout
+from ..ssd import P5800X, Raid0Array, SimulatedSsd, SsdProfile
+from ..types import EmbeddingSpec, Query, QueryTrace
+from .cost_model import CpuCostModel
+from .executor import Executor, PipelinedExecutor, SerialExecutor
+from .selection import GreedySetCoverSelector, OnePassSelector, Selector
+from .stats import QueryResult, ServingReport, aggregate_results
+
+_SELECTORS = {"onepass": OnePassSelector, "greedy": GreedySetCoverSelector}
+_EXECUTORS = {"pipelined": PipelinedExecutor, "serial": SerialExecutor}
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Full online-phase configuration.
+
+    Attributes:
+        spec: embedding geometry (dim, page size).
+        profile: simulated device profile.
+        cache_ratio: DRAM cache size as a fraction of the table (paper
+            default 10 %; 0 disables the cache, Fig 13).
+        cache_policy: eviction policy (``lru``/``fifo``/``lfu``/``slru``;
+            the paper's CacheLib setup is ``lru``).
+        page_grain_admission: admit *every* key on each page read to the
+            cache, not only the requested ones (extension: the page is
+            already in DRAM, so the extra admissions are free — and under
+            a co-occurrence-aware placement the co-residents are exactly
+            the keys likely to be asked for next).
+        index_limit: forward-index shrink ``k`` (None = full index).
+        selector: ``"onepass"`` (MaxEmbed) or ``"greedy"`` (baseline).
+        executor: ``"pipelined"`` (MaxEmbed) or ``"serial"`` (raw).
+        threads: simulated serving threads (paper uses 8).
+        raid_members: >1 builds a RAID-0 of that many drives.
+        cost_model: CPU charge table for the selection path.
+    """
+
+    spec: EmbeddingSpec = field(default_factory=EmbeddingSpec)
+    profile: SsdProfile = P5800X
+    cache_ratio: float = 0.10
+    cache_policy: str = "lru"
+    page_grain_admission: bool = False
+    index_limit: Optional[int] = None
+    selector: str = "onepass"
+    executor: str = "pipelined"
+    threads: int = 8
+    raid_members: int = 1
+    cost_model: CpuCostModel = field(default_factory=CpuCostModel)
+
+    def __post_init__(self) -> None:
+        if self.selector not in _SELECTORS:
+            raise ServingError(
+                f"unknown selector {self.selector!r}; "
+                f"choose from {sorted(_SELECTORS)}"
+            )
+        if self.executor not in _EXECUTORS:
+            raise ServingError(
+                f"unknown executor {self.executor!r}; "
+                f"choose from {sorted(_EXECUTORS)}"
+            )
+        if self.threads <= 0:
+            raise ServingError(f"threads must be positive, got {self.threads}")
+        if self.raid_members <= 0:
+            raise ServingError(
+                f"raid_members must be positive, got {self.raid_members}"
+            )
+        if not 0.0 <= self.cache_ratio <= 1.0:
+            raise ServingError(
+                f"cache_ratio must be in [0, 1], got {self.cache_ratio}"
+            )
+
+
+class ServingEngine:
+    """Online embedding serving over one page layout."""
+
+    def __init__(self, layout: PageLayout, config: "EngineConfig | None" = None):
+        self.layout = layout
+        self.config = config or EngineConfig()
+        if self.config.spec.slots_per_page < layout.capacity:
+            raise ServingError(
+                f"spec fits {self.config.spec.slots_per_page} embeddings per "
+                f"page; layout packs {layout.capacity}"
+            )
+        self.forward = ForwardIndex.from_layout(
+            layout, limit=self.config.index_limit
+        )
+        self.invert = InvertIndex.from_layout(layout)
+        self.selector: Selector = _SELECTORS[self.config.selector](
+            self.forward, self.invert
+        )
+        self.executor: Executor = _EXECUTORS[self.config.executor](
+            self.config.cost_model
+        )
+        self.cache = EmbeddingCache(
+            layout.num_keys,
+            self.config.cache_ratio,
+            policy=self.config.cache_policy,
+        )
+        self.device = self._build_device()
+
+    def _build_device(self):
+        if self.config.raid_members > 1:
+            return Raid0Array(
+                self.config.profile,
+                members=self.config.raid_members,
+                page_size=self.config.spec.page_size,
+            )
+        return SimulatedSsd(
+            self.config.profile, page_size=self.config.spec.page_size
+        )
+
+    # -- single query -------------------------------------------------------------
+
+    def serve_query(self, query: Query, start_us: float = 0.0) -> QueryResult:
+        """Serve one query starting at ``start_us`` of simulated time."""
+        keys = query.unique_keys()
+        hits, misses = self.cache.filter_hits(keys)
+        if not misses:
+            finish = start_us + self.config.cost_model.query_base_us
+            return QueryResult(
+                requested_keys=len(keys),
+                cache_hits=len(hits),
+                ssd_keys=0,
+                pages_read=0,
+                valid_per_read=(),
+                start_us=start_us,
+                finish_us=finish,
+            )
+        outcome = self.selector.select(misses)
+        execution = self.executor.execute(outcome, self.device, start_us)
+        if self.config.page_grain_admission:
+            for step in outcome.steps:
+                self.cache.admit(self.invert.keys_of(step.page_id))
+        else:
+            self.cache.admit(misses)
+        return QueryResult(
+            requested_keys=len(keys),
+            cache_hits=len(hits),
+            ssd_keys=len(misses),
+            pages_read=execution.pages_read,
+            valid_per_read=tuple(len(s.covered) for s in outcome.steps),
+            start_us=start_us,
+            finish_us=execution.finish_us,
+            execution=execution,
+        )
+
+    # -- whole trace ----------------------------------------------------------------
+
+    def serve_trace(
+        self,
+        trace: "QueryTrace | Sequence[Query]",
+        warmup_queries: int = 0,
+    ) -> ServingReport:
+        """Closed-loop simulation of the trace over ``threads`` workers.
+
+        Queries are dispatched in trace order to the earliest-available
+        simulated thread; all threads share the engine's single device, so
+        bandwidth contention emerges naturally from the service model.
+
+        Args:
+            trace: queries to serve.
+            warmup_queries: queries at the head of the trace used only to
+                warm the cache — excluded from the report.
+        """
+        queries = list(trace)
+        if not queries:
+            raise ServingError("cannot serve an empty trace")
+        if warmup_queries >= len(queries):
+            raise ServingError(
+                f"warmup ({warmup_queries}) must leave at least one "
+                f"measured query ({len(queries)} total)"
+            )
+        # (ready_time, thread_id) min-heap of simulated workers.
+        workers = [(0.0, t) for t in range(self.config.threads)]
+        heapq.heapify(workers)
+        results: List[QueryResult] = []
+        for index, query in enumerate(queries):
+            ready, thread = heapq.heappop(workers)
+            result = self.serve_query(query, start_us=ready)
+            heapq.heappush(workers, (result.finish_us, thread))
+            if index >= warmup_queries:
+                results.append(result)
+        return aggregate_results(
+            results,
+            page_size=self.config.spec.page_size,
+            embedding_bytes=self.config.spec.embedding_bytes,
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    def memory_overhead_entries(self) -> int:
+        """DRAM index entries: forward (shrunk) + invert (paper §7.1)."""
+        forward_entries = self.forward.total_entries()
+        invert_entries = sum(
+            len(self.invert.keys_of(p)) for p in range(self.invert.num_pages)
+        )
+        return forward_entries + invert_entries

@@ -1,0 +1,198 @@
+"""Open-loop load simulation: Poisson arrivals against the serving engine.
+
+``ServingEngine.serve_trace`` is closed-loop — a fixed worker pool always
+has the next query ready, which measures *capacity*.  Production serving
+is open-loop: requests arrive on their own schedule, queue when all
+workers are busy, and latency explodes as the offered load approaches
+capacity.  :class:`OpenLoopSimulator` models that: exponential
+inter-arrival times at a configured QPS, FIFO dispatch onto ``threads``
+simulated workers, and per-query queueing + service latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+import numpy as np
+
+from ..errors import ServingError
+from ..types import Query
+from ..utils.rng import RngLike, make_rng
+from .engine import ServingEngine
+
+
+@dataclass(frozen=True)
+class OpenLoopResult:
+    """One served arrival."""
+
+    arrival_us: float
+    start_us: float
+    finish_us: float
+
+    @property
+    def queue_wait_us(self) -> float:
+        """Time spent waiting for a free worker."""
+        return self.start_us - self.arrival_us
+
+    @property
+    def latency_us(self) -> float:
+        """Arrival-to-completion latency (queueing + service)."""
+        return self.finish_us - self.arrival_us
+
+
+@dataclass
+class OpenLoopReport:
+    """Aggregate open-loop metrics."""
+
+    offered_qps: float
+    results: List[OpenLoopResult] = field(default_factory=list)
+
+    def mean_latency_us(self) -> float:
+        """Mean arrival-to-completion latency."""
+        if not self.results:
+            return 0.0
+        return float(np.mean([r.latency_us for r in self.results]))
+
+    def percentile_latency_us(self, pct: float) -> float:
+        """Latency percentile."""
+        if not self.results:
+            return 0.0
+        return float(
+            np.percentile([r.latency_us for r in self.results], pct)
+        )
+
+    def mean_queue_wait_us(self) -> float:
+        """Mean time spent queued before service."""
+        if not self.results:
+            return 0.0
+        return float(np.mean([r.queue_wait_us for r in self.results]))
+
+    def achieved_qps(self) -> float:
+        """Completions per second over the simulated span."""
+        if len(self.results) < 2:
+            return 0.0
+        span = max(r.finish_us for r in self.results) - min(
+            r.arrival_us for r in self.results
+        )
+        return len(self.results) / (span * 1e-6) if span > 0 else 0.0
+
+
+class OpenLoopSimulator:
+    """Poisson arrivals, FIFO queue, fixed worker pool, one engine."""
+
+    def __init__(self, engine: ServingEngine, seed: RngLike = 0) -> None:
+        self.engine = engine
+        self._rng = make_rng(seed)
+
+    def run(
+        self,
+        queries: Sequence[Query],
+        offered_qps: float,
+        warmup_fraction: float = 0.1,
+    ) -> OpenLoopReport:
+        """Offer ``queries`` at ``offered_qps`` and measure latency.
+
+        Args:
+            queries: the request stream (order preserved).
+            offered_qps: mean arrival rate (Poisson process).
+            warmup_fraction: head fraction excluded from the report
+                (cache warm-up and queue ramp).
+        """
+        if offered_qps <= 0:
+            raise ServingError(
+                f"offered_qps must be positive, got {offered_qps}"
+            )
+        queries = list(queries)
+        if not queries:
+            raise ServingError("cannot simulate an empty stream")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ServingError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+            )
+        mean_gap_us = 1e6 / offered_qps
+        gaps = self._rng.exponential(mean_gap_us, size=len(queries))
+        arrivals = np.cumsum(gaps).tolist()
+        return self.run_arrivals(
+            queries,
+            arrivals,
+            offered_qps=offered_qps,
+            warmup_fraction=warmup_fraction,
+        )
+
+    def run_arrivals(
+        self,
+        queries: Sequence[Query],
+        arrivals: Sequence[float],
+        offered_qps: "float | None" = None,
+        warmup_fraction: float = 0.1,
+    ) -> OpenLoopReport:
+        """Serve ``queries`` at explicit arrival times.
+
+        Accepts arrival schedules from any process — in particular the
+        non-homogeneous profiles of :mod:`repro.workloads.temporal`.
+        """
+        queries = list(queries)
+        if not queries:
+            raise ServingError("cannot simulate an empty stream")
+        if len(arrivals) != len(queries):
+            raise ServingError(
+                f"{len(arrivals)} arrivals for {len(queries)} queries"
+            )
+        if list(arrivals) != sorted(arrivals):
+            raise ServingError("arrival times must be non-decreasing")
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ServingError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+            )
+        if offered_qps is None:
+            span = arrivals[-1] - arrivals[0] if len(arrivals) > 1 else 0.0
+            offered_qps = (
+                len(arrivals) / (span * 1e-6) if span > 0 else 0.0
+            )
+        # Worker pool as a min-heap of next-free times.
+        workers = [0.0] * self.engine.config.threads
+        heapq.heapify(workers)
+        results: List[OpenLoopResult] = []
+        warmup = int(len(queries) * warmup_fraction)
+        for index, (query, arrival) in enumerate(zip(queries, arrivals)):
+            free_at = heapq.heappop(workers)
+            start = max(float(arrival), free_at)
+            outcome = self.engine.serve_query(query, start_us=start)
+            heapq.heappush(workers, outcome.finish_us)
+            if index >= warmup:
+                results.append(
+                    OpenLoopResult(
+                        arrival_us=float(arrival),
+                        start_us=start,
+                        finish_us=outcome.finish_us,
+                    )
+                )
+        return OpenLoopReport(offered_qps=offered_qps, results=results)
+
+    def latency_curve(
+        self,
+        queries: Sequence[Query],
+        load_points: Sequence[float],
+        capacity_qps: float,
+    ) -> List[OpenLoopReport]:
+        """Sweep offered load as fractions of a measured capacity.
+
+        Args:
+            queries: request stream reused at every point.
+            load_points: utilization fractions (e.g. ``(0.2, 0.5, 0.8)``).
+            capacity_qps: closed-loop capacity to scale against.
+        """
+        if capacity_qps <= 0:
+            raise ServingError(
+                f"capacity_qps must be positive, got {capacity_qps}"
+            )
+        reports = []
+        for fraction in load_points:
+            if fraction <= 0:
+                raise ServingError(
+                    f"load fractions must be positive, got {fraction}"
+                )
+            reports.append(self.run(queries, capacity_qps * fraction))
+        return reports

@@ -1,0 +1,177 @@
+"""Per-query results and trace-level serving reports.
+
+A :class:`QueryResult` records what one query cost; ``aggregate_results``
+rolls a list of them into the :class:`ServingReport` that the experiment
+harness prints: throughput, latency percentiles, effective bandwidth, and
+the valid-embeddings-per-read distribution (paper Figure 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..errors import ServingError
+from .executor import ExecutionResult
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of serving one query.
+
+    Attributes:
+        requested_keys: distinct keys in the request.
+        cache_hits: keys served from DRAM.
+        ssd_keys: keys served from SSD reads.
+        pages_read: SSD page reads issued.
+        valid_per_read: newly covered queried keys per page read, in read
+            order (empty when fully cache-served).
+        execution: timing breakdown (None when no SSD read was needed).
+        finish_us: absolute completion time.
+        start_us: absolute start time.
+    """
+
+    requested_keys: int
+    cache_hits: int
+    ssd_keys: int
+    pages_read: int
+    valid_per_read: tuple
+    start_us: float
+    finish_us: float
+    execution: "ExecutionResult | None" = None
+
+    @property
+    def latency_us(self) -> float:
+        """End-to-end latency of this query."""
+        return self.finish_us - self.start_us
+
+
+@dataclass
+class ServingReport:
+    """Aggregate metrics over a served trace."""
+
+    num_queries: int
+    makespan_us: float
+    total_pages_read: int
+    total_valid_embeddings: int
+    total_cache_hits: int
+    total_requested: int
+    latencies_us: List[float] = field(default_factory=list)
+    sort_us: float = 0.0
+    selection_us: float = 0.0
+    io_wait_us: float = 0.0
+    valid_per_read_hist: Dict[int, int] = field(default_factory=dict)
+    page_size: int = 4096
+    embedding_bytes: int = 256
+
+    # -- throughput / latency ------------------------------------------------
+
+    def throughput_qps(self) -> float:
+        """Queries per second over the simulated makespan."""
+        if self.makespan_us <= 0:
+            return 0.0
+        return self.num_queries / (self.makespan_us * 1e-6)
+
+    def keys_per_second(self) -> float:
+        """Embedding lookups per second (cache + SSD)."""
+        if self.makespan_us <= 0:
+            return 0.0
+        return self.total_requested / (self.makespan_us * 1e-6)
+
+    def mean_latency_us(self) -> float:
+        """Mean query latency."""
+        return float(np.mean(self.latencies_us)) if self.latencies_us else 0.0
+
+    def percentile_latency_us(self, pct: float) -> float:
+        """Latency percentile (e.g. 99.0)."""
+        if not self.latencies_us:
+            return 0.0
+        if not 0 <= pct <= 100:
+            raise ServingError(f"percentile must be in [0, 100], got {pct}")
+        return float(np.percentile(self.latencies_us, pct))
+
+    # -- bandwidth ---------------------------------------------------------------
+
+    def useful_bytes(self) -> int:
+        """Bytes of requested embeddings actually served from SSD reads."""
+        return self.total_valid_embeddings * self.embedding_bytes
+
+    def total_bytes_read(self) -> int:
+        """Raw bytes transferred from SSD."""
+        return self.total_pages_read * self.page_size
+
+    def effective_bandwidth_fraction(self) -> float:
+        """Useful / raw bytes — the paper's "effective bandwidth" percent."""
+        raw = self.total_bytes_read()
+        return self.useful_bytes() / raw if raw else 0.0
+
+    def effective_bandwidth_mb_s(self, device_bandwidth_gb_s: float) -> float:
+        """Effective bandwidth in MB/s at a given device ceiling (Fig 17)."""
+        return (
+            self.effective_bandwidth_fraction() * device_bandwidth_gb_s * 1e3
+        )
+
+    def mean_valid_per_read(self) -> float:
+        """Average newly covered embeddings per page read (Fig 9 headline)."""
+        if self.total_pages_read == 0:
+            return 0.0
+        return self.total_valid_embeddings / self.total_pages_read
+
+    def valid_per_read_cdf(self) -> List[tuple]:
+        """CDF points ``(valid_count, cumulative_fraction)`` (Fig 9)."""
+        total = sum(self.valid_per_read_hist.values())
+        if total == 0:
+            return []
+        points = []
+        cumulative = 0
+        for value in sorted(self.valid_per_read_hist):
+            cumulative += self.valid_per_read_hist[value]
+            points.append((value, cumulative / total))
+        return points
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of requested keys served from DRAM."""
+        if self.total_requested == 0:
+            return 0.0
+        return self.total_cache_hits / self.total_requested
+
+    def cpu_fraction(self) -> float:
+        """CPU (sort+selection) share of summed query latencies."""
+        total = sum(self.latencies_us)
+        if total <= 0:
+            return 0.0
+        return (self.sort_us + self.selection_us) / total
+
+
+def aggregate_results(
+    results: Sequence[QueryResult],
+    page_size: int,
+    embedding_bytes: int,
+) -> ServingReport:
+    """Fold per-query results into one :class:`ServingReport`."""
+    if not results:
+        raise ServingError("cannot aggregate an empty result list")
+    report = ServingReport(
+        num_queries=len(results),
+        makespan_us=max(r.finish_us for r in results)
+        - min(r.start_us for r in results),
+        total_pages_read=sum(r.pages_read for r in results),
+        total_valid_embeddings=sum(r.ssd_keys for r in results),
+        total_cache_hits=sum(r.cache_hits for r in results),
+        total_requested=sum(r.requested_keys for r in results),
+        page_size=page_size,
+        embedding_bytes=embedding_bytes,
+    )
+    for r in results:
+        report.latencies_us.append(r.latency_us)
+        for v in r.valid_per_read:
+            report.valid_per_read_hist[v] = (
+                report.valid_per_read_hist.get(v, 0) + 1
+            )
+        if r.execution is not None:
+            report.sort_us += r.execution.sort_us
+            report.selection_us += r.execution.selection_us
+            report.io_wait_us += r.execution.io_wait_us
+    return report

@@ -1,0 +1,37 @@
+"""Simulated clock.
+
+All components of the online-serving simulation share one clock measuring
+microseconds as a float.  The clock only moves forward; rewinding it is a
+bug and raises.
+"""
+
+from __future__ import annotations
+
+from ..errors import StorageError
+
+
+class SimClock:
+    """Monotonic simulated time in microseconds."""
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        if start_us < 0:
+            raise StorageError(f"start time must be >= 0, got {start_us}")
+        self._now = float(start_us)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (µs)."""
+        return self._now
+
+    def advance(self, delta_us: float) -> float:
+        """Move time forward by ``delta_us`` and return the new time."""
+        if delta_us < 0:
+            raise StorageError(f"cannot advance by negative time {delta_us}")
+        self._now += delta_us
+        return self._now
+
+    def advance_to(self, time_us: float) -> float:
+        """Move time forward to ``time_us`` (no-op if already past it)."""
+        if time_us > self._now:
+            self._now = time_us
+        return self._now

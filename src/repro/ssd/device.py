@@ -1,0 +1,153 @@
+"""Discrete-event SSD device model with an SPDK-style async queue pair.
+
+Service model
+-------------
+A read submitted at simulated time ``t`` completes at::
+
+    completion = max(t, device_ready) + read_latency
+
+where ``device_ready`` is a per-device cursor that advances by the page's
+transfer time (``page_size / bandwidth``) for every accepted read.  This
+gives exactly the two behaviours the experiments need:
+
+* an idle device serves a read in ``read_latency`` µs (latency floor), and
+* a saturated device retires reads at ``bandwidth / page_size`` per second
+  (bandwidth ceiling), regardless of how many are queued.
+
+``queue_depth`` bounds in-flight reads the way an NVMe submission queue
+does; submitting beyond it raises, mirroring SPDK's failed submission.
+
+All methods take explicit timestamps rather than reading a global clock,
+so callers (the pipelined executor in particular) can interleave CPU work
+and I/O deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..errors import StorageError
+from .profiles import SsdProfile
+
+
+@dataclass(frozen=True)
+class Completion:
+    """A finished read: which page, when submitted, when done."""
+
+    ticket: int
+    page_id: int
+    submitted_at_us: float
+    completed_at_us: float
+
+    @property
+    def latency_us(self) -> float:
+        """Observed device latency of this read."""
+        return self.completed_at_us - self.submitted_at_us
+
+
+@dataclass
+class DeviceStats:
+    """Aggregate counters for one device."""
+
+    reads: int = 0
+    bytes_read: int = 0
+    total_latency_us: float = 0.0
+    busy_until_us: float = 0.0
+    latencies: List[float] = field(default_factory=list)
+
+    def mean_latency_us(self) -> float:
+        """Average read latency (0 when idle)."""
+        return self.total_latency_us / self.reads if self.reads else 0.0
+
+
+class SimulatedSsd:
+    """One simulated drive with an async submit/poll interface."""
+
+    def __init__(self, profile: SsdProfile, page_size: int = 4096) -> None:
+        if page_size <= 0:
+            raise StorageError(f"page_size must be positive, got {page_size}")
+        self.profile = profile
+        self.page_size = page_size
+        self._transfer_us = profile.transfer_time_us(page_size)
+        self._ready_at = 0.0
+        self._inflight: List = []  # heap of (completed_at, ticket, Completion)
+        self._next_ticket = 0
+        self.stats = DeviceStats()
+
+    # -- async interface -----------------------------------------------------
+
+    @property
+    def inflight(self) -> int:
+        """Reads submitted but not yet polled."""
+        return len(self._inflight)
+
+    @property
+    def queue_depth(self) -> int:
+        """Submission-queue capacity (reads in flight before submit fails)."""
+        return self.profile.queue_depth
+
+    def submit_read(self, page_id: int, now_us: float) -> Completion:
+        """Submit one page read at simulated time ``now_us``.
+
+        Returns the :class:`Completion` immediately (its completion time is
+        already determined by the service model); the read still counts as
+        in-flight until polled.
+        """
+        if page_id < 0:
+            raise StorageError(f"page id must be >= 0, got {page_id}")
+        if now_us < 0:
+            raise StorageError(f"time must be >= 0, got {now_us}")
+        if len(self._inflight) >= self.profile.queue_depth:
+            raise StorageError(
+                f"queue depth {self.profile.queue_depth} exceeded on "
+                f"{self.profile.name}"
+            )
+        start = max(now_us, self._ready_at)
+        self._ready_at = start + self._transfer_us
+        completed = start + self.profile.read_latency_us
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        completion = Completion(ticket, page_id, now_us, completed)
+        heapq.heappush(
+            self._inflight, (completed, ticket, completion)
+        )
+        self.stats.reads += 1
+        self.stats.bytes_read += self.page_size
+        self.stats.total_latency_us += completion.latency_us
+        self.stats.latencies.append(completion.latency_us)
+        self.stats.busy_until_us = max(
+            self.stats.busy_until_us, completed
+        )
+        return completion
+
+    def poll(self, now_us: float) -> List[Completion]:
+        """Retire every in-flight read whose completion time has passed."""
+        done: List[Completion] = []
+        while self._inflight and self._inflight[0][0] <= now_us:
+            done.append(heapq.heappop(self._inflight)[2])
+        return done
+
+    def drain(self) -> float:
+        """Retire all in-flight reads; return the last completion time."""
+        last = 0.0
+        while self._inflight:
+            last = heapq.heappop(self._inflight)[0]
+        return last
+
+    def next_completion_time(self) -> Optional[float]:
+        """Completion time of the earliest in-flight read, or None."""
+        return self._inflight[0][0] if self._inflight else None
+
+    # -- derived metrics -----------------------------------------------------
+
+    def delivered_bandwidth_gb_s(self, elapsed_us: float) -> float:
+        """Raw transfer rate achieved over ``elapsed_us`` (GB/s)."""
+        if elapsed_us <= 0:
+            return 0.0
+        return self.stats.bytes_read / (elapsed_us * 1e-6) / 1e9
+
+    def reset_stats(self) -> None:
+        """Zero the counters (the service cursor is kept)."""
+        self.stats = DeviceStats()

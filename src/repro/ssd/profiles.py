@@ -1,0 +1,107 @@
+"""SSD device profiles.
+
+Each profile captures the two service parameters the simulation uses —
+per-read latency and aggregate sequential bandwidth — plus the submission
+queue depth.  The presets follow the devices in the paper's evaluation:
+
+* **P5800X** — Intel Optane: ~5 µs read latency, > 7 GB/s bandwidth
+  (paper §2.2 quotes exactly these figures);
+* **P4510** — Intel NAND TLC: ~80 µs read latency, ~3.2 GB/s;
+* **RAID0_2X_P5800X** — two P5800X striped, doubling bandwidth at equal
+  latency (paper Figure 17b);
+* **GENERIC_NAND** — a conservative commodity drive for examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class SsdProfile:
+    """Service parameters of one simulated drive.
+
+    Attributes:
+        name: human-readable identifier.
+        read_latency_us: fixed per-read access latency (µs).
+        bandwidth_gb_s: aggregate transfer ceiling (GB/s, decimal GB).
+        queue_depth: maximum in-flight reads accepted before submit blocks.
+    """
+
+    name: str
+    read_latency_us: float
+    bandwidth_gb_s: float
+    queue_depth: int = 128
+
+    def __post_init__(self) -> None:
+        if self.read_latency_us <= 0:
+            raise ConfigError(
+                f"read latency must be positive, got {self.read_latency_us}"
+            )
+        if self.bandwidth_gb_s <= 0:
+            raise ConfigError(
+                f"bandwidth must be positive, got {self.bandwidth_gb_s}"
+            )
+        if self.queue_depth <= 0:
+            raise ConfigError(
+                f"queue depth must be positive, got {self.queue_depth}"
+            )
+
+    def transfer_time_us(self, num_bytes: int) -> float:
+        """Time to move ``num_bytes`` through the device at full bandwidth."""
+        if num_bytes < 0:
+            raise ConfigError(f"num_bytes must be >= 0, got {num_bytes}")
+        return num_bytes / (self.bandwidth_gb_s * 1e9) * 1e6
+
+    def max_page_reads_per_second(self, page_size: int) -> float:
+        """Bandwidth ceiling expressed as page reads per second."""
+        if page_size <= 0:
+            raise ConfigError(f"page_size must be positive, got {page_size}")
+        return self.bandwidth_gb_s * 1e9 / page_size
+
+    def scaled(self, name: str, bandwidth_factor: float) -> "SsdProfile":
+        """Derived profile with bandwidth multiplied by ``bandwidth_factor``."""
+        if bandwidth_factor <= 0:
+            raise ConfigError(
+                f"bandwidth_factor must be positive, got {bandwidth_factor}"
+            )
+        return SsdProfile(
+            name=name,
+            read_latency_us=self.read_latency_us,
+            bandwidth_gb_s=self.bandwidth_gb_s * bandwidth_factor,
+            queue_depth=self.queue_depth,
+        )
+
+
+P5800X = SsdProfile(
+    name="Intel Optane P5800X",
+    read_latency_us=5.0,
+    bandwidth_gb_s=7.2,
+    queue_depth=128,
+)
+
+P4510 = SsdProfile(
+    name="Intel P4510",
+    read_latency_us=80.0,
+    bandwidth_gb_s=3.2,
+    queue_depth=256,
+)
+
+RAID0_2X_P5800X = P5800X.scaled("RAID0 2x P5800X", bandwidth_factor=2.0)
+
+GENERIC_NAND = SsdProfile(
+    name="Generic NAND",
+    read_latency_us=100.0,
+    bandwidth_gb_s=2.0,
+    queue_depth=64,
+)
+
+PROFILES: Dict[str, SsdProfile] = {
+    "p5800x": P5800X,
+    "p4510": P4510,
+    "raid0": RAID0_2X_P5800X,
+    "nand": GENERIC_NAND,
+}

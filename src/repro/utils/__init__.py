@@ -1,0 +1,24 @@
+"""Small shared utilities: validation, seeded RNG, Zipf sampling, tables."""
+
+from .validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+from .rng import make_rng, spawn_rngs
+from .zipf import ZipfSampler, zipf_weights
+from .tables import format_table, format_series
+
+__all__ = [
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "make_rng",
+    "spawn_rngs",
+    "ZipfSampler",
+    "zipf_weights",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,39 @@
+"""Seeded random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` and derives a
+private :class:`numpy.random.Generator` from it, so full experiments are
+reproducible bit-for-bit from a single integer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a numpy Generator from a seed, an existing generator, or None.
+
+    Passing an existing generator returns it unchanged, which lets helper
+    functions thread one RNG through a call tree without reseeding.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: RngLike, count: int) -> List[np.random.Generator]:
+    """Derive ``count`` independent child generators from one seed.
+
+    Children are produced with ``Generator.spawn`` semantics (SeedSequence
+    spawning), so they are statistically independent streams — used to give
+    each simulated serving thread its own RNG.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    root = make_rng(seed)
+    seq = root.bit_generator.seed_seq.spawn(count)
+    return [np.random.default_rng(s) for s in seq]

@@ -1,0 +1,37 @@
+"""Argument validation helpers.
+
+All helpers raise :class:`~repro.errors.ConfigError` with a message naming
+the offending parameter, so call sites stay one line long.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0`` and return it."""
+    if value <= 0:
+        raise ConfigError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require ``value >= 0`` and return it."""
+    if value < 0:
+        raise ConfigError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Require ``0 <= value <= 1`` and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Alias of :func:`check_fraction` with a probability-flavoured message."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigError(f"{name} must be a probability in [0, 1], got {value}")
+    return value

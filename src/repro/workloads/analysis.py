@@ -1,0 +1,175 @@
+"""Trace analysis: the statistics that decide whether MaxEmbed will help.
+
+Before committing SSD space to replication, an operator wants to know
+three things about a trace, and this module computes all of them:
+
+* **skew** — how concentrated accesses are (drives cache effectiveness);
+* **co-appearance breadth** — how many partners the hot keys co-occur
+  with, versus the page capacity (the paper's §3 motivation: breadth
+  beyond ``d`` is exactly what replication exploits);
+* **drift** — how much the key popularity and co-occurrence structure
+  move between two trace windows (stale placements stop paying off).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..types import QueryTrace
+from ..hypergraph import build_hypergraph
+from ..hypergraph.stats import distinct_neighbour_counts
+
+
+def access_counts(trace: QueryTrace) -> np.ndarray:
+    """Per-key access counts over the trace (raw, duplicates included)."""
+    counts = np.zeros(trace.num_keys, dtype=np.int64)
+    for query in trace:
+        for key in query.keys:
+            counts[key] += 1
+    return counts
+
+
+def top_share(trace: QueryTrace, fraction: float = 0.1) -> float:
+    """Share of accesses drawn by the hottest ``fraction`` of keys."""
+    if not 0.0 < fraction <= 1.0:
+        raise WorkloadError(f"fraction must be in (0, 1], got {fraction}")
+    counts = access_counts(trace)
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    k = max(1, int(trace.num_keys * fraction))
+    hottest = np.sort(counts)[::-1][:k]
+    return float(hottest.sum() / total)
+
+
+def gini_coefficient(trace: QueryTrace) -> float:
+    """Gini coefficient of the access distribution (0 uniform, →1 skewed)."""
+    counts = np.sort(access_counts(trace).astype(np.float64))
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    n = len(counts)
+    ranks = np.arange(1, n + 1)
+    return float((2 * (ranks * counts).sum()) / (n * total) - (n + 1) / n)
+
+
+def working_set_curve(
+    trace: QueryTrace, points: int = 10
+) -> List[Tuple[int, int]]:
+    """Distinct keys touched after each prefix of the trace.
+
+    Returns ``(queries_seen, distinct_keys)`` pairs at ``points`` evenly
+    spaced prefixes — the curve whose plateau tells you how much cache
+    can ever help.
+    """
+    if points < 1:
+        raise WorkloadError(f"points must be >= 1, got {points}")
+    queries = list(trace)
+    if not queries:
+        return []
+    step = max(1, len(queries) // points)
+    seen: set = set()
+    curve: List[Tuple[int, int]] = []
+    for index, query in enumerate(queries, start=1):
+        seen.update(query.keys)
+        if index % step == 0 or index == len(queries):
+            curve.append((index, len(seen)))
+    return curve
+
+
+@dataclass(frozen=True)
+class BreadthReport:
+    """Co-appearance breadth vs page capacity."""
+
+    page_capacity: int
+    mean_breadth: float
+    hot_mean_breadth: float
+    fraction_exceeding_capacity: float
+
+    def replication_headroom(self) -> bool:
+        """True when hot keys co-appear beyond one page — MaxEmbed's case."""
+        return self.hot_mean_breadth > self.page_capacity
+
+
+def coappearance_breadth(
+    trace: QueryTrace, page_capacity: int = 16, hot_fraction: float = 0.05
+) -> BreadthReport:
+    """Measure the paper's §3 statistic on a trace."""
+    if page_capacity <= 0:
+        raise WorkloadError(
+            f"page_capacity must be positive, got {page_capacity}"
+        )
+    graph = build_hypergraph(trace)
+    breadth = np.asarray(distinct_neighbour_counts(graph), dtype=np.float64)
+    degrees = np.asarray(graph.degrees())
+    k = max(1, int(trace.num_keys * hot_fraction))
+    hottest = np.argsort(-degrees)[:k]
+    active = breadth[degrees > 0]
+    return BreadthReport(
+        page_capacity=page_capacity,
+        mean_breadth=float(active.mean()) if len(active) else 0.0,
+        hot_mean_breadth=float(breadth[hottest].mean()),
+        fraction_exceeding_capacity=float(
+            (active > page_capacity).mean()
+        )
+        if len(active)
+        else 0.0,
+    )
+
+
+# -- drift ----------------------------------------------------------------------
+
+
+def popularity_overlap(
+    first: QueryTrace, second: QueryTrace, fraction: float = 0.1
+) -> float:
+    """Jaccard overlap of the two windows' hottest-``fraction`` key sets."""
+    if first.num_keys != second.num_keys:
+        raise WorkloadError("traces must share a key space")
+    k = max(1, int(first.num_keys * fraction))
+    hot_a = set(np.argsort(-access_counts(first))[:k].tolist())
+    hot_b = set(np.argsort(-access_counts(second))[:k].tolist())
+    union = hot_a | hot_b
+    return len(hot_a & hot_b) / len(union) if union else 0.0
+
+
+def cooccurrence_overlap(
+    first: QueryTrace, second: QueryTrace, top_pairs: int = 200
+) -> float:
+    """Jaccard overlap of the two windows' most frequent co-occurring pairs."""
+    if first.num_keys != second.num_keys:
+        raise WorkloadError("traces must share a key space")
+
+    def hot_pairs(trace: QueryTrace) -> set:
+        pairs: Counter = Counter()
+        for query in trace:
+            keys = sorted(query.unique_keys())
+            for i, a in enumerate(keys):
+                for b in keys[i + 1 :]:
+                    pairs[(a, b)] += 1
+        return {p for p, _ in pairs.most_common(top_pairs)}
+
+    a = hot_pairs(first)
+    b = hot_pairs(second)
+    union = a | b
+    return len(a & b) / len(union) if union else 0.0
+
+
+def summarize(trace: QueryTrace, page_capacity: int = 16) -> Dict[str, float]:
+    """One-call overview used by the CLI and examples."""
+    breadth = coappearance_breadth(trace, page_capacity)
+    return {
+        "num_keys": trace.num_keys,
+        "num_queries": len(trace),
+        "mean_query_length": trace.mean_query_length(),
+        "top10pct_access_share": top_share(trace, 0.1),
+        "gini": gini_coefficient(trace),
+        "mean_coappearance_breadth": breadth.mean_breadth,
+        "hot_coappearance_breadth": breadth.hot_mean_breadth,
+        "fraction_beyond_page": breadth.fraction_exceeding_capacity,
+    }

@@ -1,0 +1,145 @@
+"""Scaled presets for the five datasets of the paper's Table 3.
+
+| Dataset          | Items | Queries | Mean len | Flavour     |
+|------------------|-------|---------|----------|-------------|
+| Amazon M2        | 1.39M | 3.6M    | 5.24     | shopping    |
+| Alibaba-iFashion | 4.46M | 999K    | 53.63    | shopping    |
+| Avazu            | 9.45M | 40.4M   | 21       | advertising |
+| Criteo           | 35M   | 45.8M   | 26       | advertising |
+| CriteoTB         | 882M  | 4.37B   | 26       | advertising |
+
+Presets preserve the *ratios* (items : queries, query length) at a scale a
+pure-Python SHP can partition in seconds.  Each preset carries two sizes:
+``bench`` (benchmarks, a few thousand items) and ``small`` (unit tests).
+Shopping datasets get stronger group structure / less noise; advertising
+datasets get more noise; CriteoTB gets the coldest combinations (lowest
+group skew), matching the paper's §8.3 characterization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..errors import WorkloadError
+from ..types import QueryTrace
+from .synthetic import SyntheticTraceGenerator, WorkloadSpec
+
+
+@dataclass(frozen=True)
+class DatasetPreset:
+    """One named dataset at two built-in scales."""
+
+    name: str
+    label: str
+    flavour: str  # "shopping" | "advertising"
+    bench: WorkloadSpec
+    small: WorkloadSpec
+
+    def spec(self, scale: str = "bench") -> WorkloadSpec:
+        """Return the spec for ``scale`` ("bench" or "small")."""
+        if scale == "bench":
+            return self.bench
+        if scale == "small":
+            return self.small
+        raise WorkloadError(f"unknown scale {scale!r}; use 'bench' or 'small'")
+
+
+def _shopping(
+    name: str,
+    label: str,
+    bench_items: int,
+    bench_queries: int,
+    mean_len: float,
+    group_alpha: float = 0.5,
+    noise: float = 0.08,
+    item_alpha: float = 0.65,
+) -> DatasetPreset:
+    common = dict(
+        mean_query_len=mean_len,
+        item_alpha=item_alpha,
+        group_alpha=group_alpha,
+        noise_fraction=noise,
+        second_group_prob=0.3,
+        group_size=28,
+    )
+    return DatasetPreset(
+        name=name,
+        label=label,
+        flavour="shopping",
+        bench=WorkloadSpec(bench_items, bench_queries, **common),
+        small=WorkloadSpec(
+            max(64, bench_items // 5), max(100, bench_queries // 8), **common
+        ),
+    )
+
+
+def _advertising(
+    name: str,
+    label: str,
+    bench_items: int,
+    bench_queries: int,
+    mean_len: float,
+    group_alpha: float = 0.35,
+    noise: float = 0.25,
+    item_alpha: float = 0.55,
+) -> DatasetPreset:
+    common = dict(
+        mean_query_len=mean_len,
+        item_alpha=item_alpha,
+        group_alpha=group_alpha,
+        noise_fraction=noise,
+        second_group_prob=0.2,
+        group_size=24,
+    )
+    return DatasetPreset(
+        name=name,
+        label=label,
+        flavour="advertising",
+        bench=WorkloadSpec(bench_items, bench_queries, **common),
+        small=WorkloadSpec(
+            max(64, bench_items // 5), max(100, bench_queries // 8), **common
+        ),
+    )
+
+
+# Bench scales keep (items : queries) close to Table 3 while holding the
+# pin count (queries × mean length) within a few hundred thousand.
+DATASETS: Dict[str, DatasetPreset] = {
+    "amazon_m2": _shopping(
+        "amazon_m2", "Amazon M2", 2400, 6200, 5.24
+    ),
+    "alibaba_ifashion": _shopping(
+        "alibaba_ifashion", "Alibaba iFashion", 4400, 1000, 53.63,
+        group_alpha=0.55, noise=0.06,
+    ),
+    "avazu": _advertising(
+        "avazu", "Avazu", 3200, 13600, 21.0
+    ),
+    "criteo": _advertising(
+        "criteo", "Criteo", 4000, 5200, 26.0
+    ),
+    "criteo_tb": _advertising(
+        "criteo_tb", "CriteoTB", 6000, 30000, 26.0,
+        group_alpha=0.25, noise=0.3, item_alpha=0.5,
+    ),
+}
+
+
+def get_preset(name: str) -> DatasetPreset:
+    """Look up a preset by name."""
+    try:
+        return DATASETS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        )
+
+
+def make_trace(
+    name: str, scale: str = "bench", seed: int = 0
+) -> Tuple[QueryTrace, DatasetPreset]:
+    """Generate a trace for a named preset; returns ``(trace, preset)``."""
+    preset = get_preset(name)
+    generator = SyntheticTraceGenerator(preset.spec(scale), seed=seed)
+    return generator.generate(), preset

@@ -1,0 +1,71 @@
+"""Workload drift synthesis.
+
+Recommendation traffic is non-stationary: items trend and fade, and the
+co-occurrence structure the offline phase mined slowly stops describing
+live traffic.  The paper partitions on historical logs and serves the
+future, implicitly assuming stationarity; these helpers let experiments
+break that assumption in a controlled way by blending a *stable* stream
+with a *drifted* one (same universe, different popularity/grouping).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import WorkloadError
+from ..types import QueryTrace
+from ..utils.rng import RngLike, make_rng
+from .datasets import get_preset
+from .synthetic import SyntheticTraceGenerator
+
+
+def blend_traces(
+    stable: QueryTrace,
+    drifted: QueryTrace,
+    drift_fraction: float,
+    seed: RngLike = 0,
+) -> QueryTrace:
+    """Mix two traces: each slot draws from ``drifted`` with the given odds.
+
+    The output has the length of ``stable``; both traces must share one
+    key space.  ``drift_fraction=0`` returns the stable stream unchanged,
+    ``1.0`` the drifted stream (truncated/padded to length).
+    """
+    if stable.num_keys != drifted.num_keys:
+        raise WorkloadError("traces must share a key space")
+    if not 0.0 <= drift_fraction <= 1.0:
+        raise WorkloadError(
+            f"drift_fraction must be in [0, 1], got {drift_fraction}"
+        )
+    if len(drifted) == 0:
+        raise WorkloadError("drifted trace must be non-empty")
+    rng = make_rng(seed)
+    stable_queries = list(stable)
+    drifted_queries = list(drifted)
+    blended: List = []
+    for index, query in enumerate(stable_queries):
+        if rng.random() < drift_fraction:
+            blended.append(drifted_queries[index % len(drifted_queries)])
+        else:
+            blended.append(query)
+    return QueryTrace(stable.num_keys, blended)
+
+
+def drifted_trace_for(
+    dataset: str,
+    scale: str = "bench",
+    base_seed: int = 0,
+    drift_seed: int = 1,
+) -> QueryTrace:
+    """A same-universe trace with re-rolled popularity and groups.
+
+    The drifted generator shares the preset's *parameters* (so global
+    statistics match) but re-draws the popularity permutation and the
+    interest groups — the worst realistic drift: every mined combination
+    is stale, yet the workload "looks" identical in aggregate.
+    """
+    if base_seed == drift_seed:
+        raise WorkloadError("drift_seed must differ from base_seed")
+    preset = get_preset(dataset)
+    generator = SyntheticTraceGenerator(preset.spec(scale), seed=drift_seed)
+    return generator.generate()

@@ -1,0 +1,115 @@
+"""Time-varying arrival-rate profiles.
+
+Production recommendation traffic is not a constant-rate Poisson stream:
+it breathes diurnally and spikes on events.  These profiles supply a
+rate function ``qps(t_us)`` that the open-loop simulator can follow via
+thinning (non-homogeneous Poisson sampling), so capacity planning can be
+done against the *peak*, not the average.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..utils.rng import RngLike, make_rng
+
+RateFn = Callable[[float], float]
+
+
+def constant_rate(qps: float) -> RateFn:
+    """A flat profile (equivalent to plain Poisson arrivals)."""
+    if qps <= 0:
+        raise WorkloadError(f"qps must be positive, got {qps}")
+    return lambda _t: qps
+
+
+def diurnal_rate(
+    base_qps: float, swing: float = 0.5, period_us: float = 1e6
+) -> RateFn:
+    """Sinusoidal day/night profile.
+
+    Args:
+        base_qps: mean rate.
+        swing: peak deviation as a fraction of base (0.5 → peak 1.5×,
+            trough 0.5×).
+        period_us: one full cycle in simulated microseconds (scaled down
+            from 24 h the same way everything else in the simulator is).
+    """
+    if base_qps <= 0:
+        raise WorkloadError(f"base_qps must be positive, got {base_qps}")
+    if not 0.0 <= swing < 1.0:
+        raise WorkloadError(f"swing must be in [0, 1), got {swing}")
+    if period_us <= 0:
+        raise WorkloadError(f"period_us must be positive, got {period_us}")
+
+    def rate(t_us: float) -> float:
+        return base_qps * (1.0 + swing * math.sin(2 * math.pi * t_us / period_us))
+
+    return rate
+
+
+def burst_rate(
+    base_qps: float,
+    burst_factor: float = 4.0,
+    burst_start_us: float = 0.0,
+    burst_duration_us: float = 1e5,
+) -> RateFn:
+    """A flat profile with one rectangular burst (flash-sale traffic)."""
+    if base_qps <= 0:
+        raise WorkloadError(f"base_qps must be positive, got {base_qps}")
+    if burst_factor < 1.0:
+        raise WorkloadError(
+            f"burst_factor must be >= 1, got {burst_factor}"
+        )
+    if burst_duration_us <= 0:
+        raise WorkloadError(
+            f"burst_duration_us must be positive, got {burst_duration_us}"
+        )
+    burst_end = burst_start_us + burst_duration_us
+
+    def rate(t_us: float) -> float:
+        if burst_start_us <= t_us < burst_end:
+            return base_qps * burst_factor
+        return base_qps
+
+    return rate
+
+
+def sample_arrivals(
+    rate_fn: RateFn,
+    count: int,
+    peak_qps: float,
+    seed: RngLike = 0,
+) -> List[float]:
+    """Draw ``count`` arrival times from a non-homogeneous Poisson process.
+
+    Uses thinning: candidate arrivals are drawn at the ``peak_qps``
+    envelope rate and accepted with probability ``rate(t) / peak``.
+
+    Args:
+        rate_fn: instantaneous rate in qps at simulated time t (µs).
+        count: arrivals to produce.
+        peak_qps: an upper bound on ``rate_fn`` (violations raise).
+    """
+    if count <= 0:
+        raise WorkloadError(f"count must be positive, got {count}")
+    if peak_qps <= 0:
+        raise WorkloadError(f"peak_qps must be positive, got {peak_qps}")
+    rng = make_rng(seed)
+    arrivals: List[float] = []
+    t = 0.0
+    mean_gap_us = 1e6 / peak_qps
+    while len(arrivals) < count:
+        t += float(rng.exponential(mean_gap_us))
+        rate = rate_fn(t)
+        if rate > peak_qps * (1 + 1e-9):
+            raise WorkloadError(
+                f"rate {rate} exceeds the declared peak {peak_qps} at t={t}"
+            )
+        if rng.random() < rate / peak_qps:
+            arrivals.append(t)
+    return arrivals

@@ -1,0 +1,94 @@
+"""Shared fixtures: tiny handcrafted structures and small generated traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    EmbeddingSpec,
+    MaxEmbedConfig,
+    Query,
+    QueryTrace,
+    ShpConfig,
+    build_weighted_hypergraph,
+    make_trace,
+)
+from repro.core import build_offline_layout
+from repro.hypergraph import Hypergraph
+from repro.placement import PageLayout
+
+
+@pytest.fixture
+def tiny_graph() -> Hypergraph:
+    """12 vertices, 4 hand-made hyperedges with two obvious communities."""
+    return Hypergraph(
+        12,
+        [
+            (0, 1, 2, 3),
+            (0, 1, 2),
+            (4, 5, 6, 7),
+            (4, 5, 6),
+            (8, 9),
+            (10, 11),
+            (3, 7),
+        ],
+    )
+
+
+@pytest.fixture
+def tiny_trace() -> QueryTrace:
+    """A fixed 8-query trace over 16 keys (no randomness)."""
+    queries = [
+        Query((0, 1, 2, 3)),
+        Query((0, 1, 2)),
+        Query((4, 5, 6, 7)),
+        Query((4, 5)),
+        Query((8, 9, 10)),
+        Query((11, 12)),
+        Query((13, 14, 15)),
+        Query((0, 4, 8, 12)),
+    ]
+    return QueryTrace(16, queries)
+
+
+@pytest.fixture(scope="session")
+def criteo_small():
+    """(history, live) halves of the small Criteo preset (session cached)."""
+    trace, _ = make_trace("criteo", scale="small", seed=7)
+    return trace.split(0.5)
+
+
+@pytest.fixture(scope="session")
+def shp_layout_small(criteo_small) -> PageLayout:
+    """Plain SHP layout (no replication) on the small Criteo history."""
+    history, _ = criteo_small
+    config = MaxEmbedConfig(
+        strategy="none", shp=ShpConfig(max_iterations=8, seed=7), seed=7
+    )
+    return build_offline_layout(history, config)
+
+
+@pytest.fixture(scope="session")
+def maxembed_layout_small(criteo_small) -> PageLayout:
+    """MaxEmbed layout at r=20 % on the small Criteo history."""
+    history, _ = criteo_small
+    config = MaxEmbedConfig(
+        strategy="maxembed",
+        replication_ratio=0.2,
+        shp=ShpConfig(max_iterations=8, seed=7),
+        seed=7,
+    )
+    return build_offline_layout(history, config)
+
+
+@pytest.fixture(scope="session")
+def small_graph(criteo_small) -> Hypergraph:
+    """Weighted hypergraph of the small Criteo history."""
+    history, _ = criteo_small
+    return build_weighted_hypergraph(history)
+
+
+@pytest.fixture
+def spec64() -> EmbeddingSpec:
+    """The paper's default geometry: 64-dim (256 B) on 4 KiB pages, d=16."""
+    return EmbeddingSpec(dim=64, page_size=4096)

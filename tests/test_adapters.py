@@ -1,0 +1,144 @@
+"""Tests for repro.workloads.adapters: real-log parsers."""
+
+import pytest
+
+from repro import WorkloadError
+from repro.workloads import hash_feature, parse_avazu_csv, parse_criteo_tsv
+from repro.workloads.adapters import (
+    CRITEO_NUM_CATEGORICAL,
+    CRITEO_NUM_INTEGER,
+)
+
+
+def criteo_line(categoricals):
+    label = "1"
+    integers = ["5"] * CRITEO_NUM_INTEGER
+    cats = list(categoricals) + [""] * (
+        CRITEO_NUM_CATEGORICAL - len(categoricals)
+    )
+    return "\t".join([label] + integers + cats)
+
+
+class TestHashFeature:
+    def test_deterministic_across_calls(self):
+        assert hash_feature(0, "abc", 100) == hash_feature(0, "abc", 100)
+
+    def test_feature_index_separates_spaces(self):
+        # The same raw value in different features must not be forced to
+        # the same bucket.
+        values = [hash_feature(i, "same", 100000) for i in range(20)]
+        assert len(set(values)) > 1
+
+    def test_bucket_range(self):
+        for value in ("a", "b", "", "0x1f"):
+            assert 0 <= hash_feature(3, value, 17) < 17
+
+    def test_rejects_bad_buckets(self):
+        with pytest.raises(WorkloadError):
+            hash_feature(0, "x", 0)
+
+
+class TestCriteoParser:
+    def test_parses_records(self):
+        lines = [
+            criteo_line(["aa", "bb"]),
+            criteo_line(["aa", "cc"]),
+        ]
+        trace = parse_criteo_tsv(lines, buckets_per_feature=50)
+        assert len(trace) == 2
+        assert trace.num_keys == CRITEO_NUM_CATEGORICAL * 50
+        # Both records share feature-0 value "aa" -> same key.
+        assert trace.queries[0].keys[0] == trace.queries[1].keys[0]
+
+    def test_empty_values_skipped(self):
+        trace = parse_criteo_tsv(
+            [criteo_line(["aa"])], buckets_per_feature=10
+        )
+        assert len(trace.queries[0]) == 1
+
+    def test_feature_ranges_disjoint(self):
+        lines = [criteo_line(["v"] * CRITEO_NUM_CATEGORICAL)]
+        trace = parse_criteo_tsv(lines, buckets_per_feature=10)
+        keys = trace.queries[0].keys
+        # One key per feature, each in its own bucket range.
+        assert len(keys) == CRITEO_NUM_CATEGORICAL
+        for feature_index, key in enumerate(sorted(keys)):
+            assert feature_index * 10 <= key < (feature_index + 1) * 10
+
+    def test_max_records(self):
+        lines = [criteo_line(["a"]), criteo_line(["b"]), criteo_line(["c"])]
+        trace = parse_criteo_tsv(lines, max_records=2)
+        assert len(trace) == 2
+
+    def test_malformed_record_rejected(self):
+        with pytest.raises(WorkloadError, match="expected"):
+            parse_criteo_tsv(["1\t2\t3"])
+
+    def test_no_usable_records(self):
+        with pytest.raises(WorkloadError, match="no usable"):
+            parse_criteo_tsv([criteo_line([])])
+
+    def test_blank_lines_skipped(self):
+        lines = ["", criteo_line(["a"]), "   "]
+        # Blank and whitespace-only lines are ignored by the reader.
+        trace = parse_criteo_tsv(lines)
+        assert len(trace) == 1
+
+    def test_bad_args(self):
+        with pytest.raises(WorkloadError):
+            parse_criteo_tsv([criteo_line(["a"])], buckets_per_feature=0)
+        with pytest.raises(WorkloadError):
+            parse_criteo_tsv([criteo_line(["a"])], max_records=0)
+
+
+class TestAvazuParser:
+    HEADER = "id,click,hour,site_id,site_domain,site_category,app_id,app_domain,app_category,device_id,device_ip,device_model"
+
+    def row(self, site="s1", device="d1"):
+        return f"100,0,14102100,{site},dom,cat,app,adom,acat,{device},ip,model"
+
+    def test_parses_records(self):
+        trace = parse_avazu_csv(
+            [self.HEADER, self.row(), self.row(site="s2")],
+            buckets_per_feature=40,
+        )
+        assert len(trace) == 2
+        assert trace.num_keys == 9 * 40
+
+    def test_shared_values_shared_keys(self):
+        trace = parse_avazu_csv(
+            [self.HEADER, self.row(device="dX"), self.row(device="dX")]
+        )
+        a, b = trace.queries
+        assert set(a.keys) & set(b.keys)
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(WorkloadError, match="missing column"):
+            parse_avazu_csv(["id,click,hour", "1,0,14102100"])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(WorkloadError, match="empty"):
+            parse_avazu_csv([])
+
+    def test_ragged_record_rejected(self):
+        with pytest.raises(WorkloadError, match="expected"):
+            parse_avazu_csv([self.HEADER, "1,0,3"])
+
+    def test_pipeline_to_offline_phase(self):
+        # End-to-end: parsed trace drives the full offline phase.
+        from repro import MaxEmbedConfig, ShpConfig
+        from repro.core import build_offline_layout
+
+        rows = [self.HEADER] + [
+            self.row(site=f"s{i % 5}", device=f"d{i % 7}")
+            for i in range(40)
+        ]
+        trace = parse_avazu_csv(rows, buckets_per_feature=20)
+        layout = build_offline_layout(
+            trace,
+            MaxEmbedConfig(
+                replication_ratio=0.1,
+                shp=ShpConfig(max_iterations=2, seed=0),
+            ),
+        )
+        assert layout.num_keys == trace.num_keys

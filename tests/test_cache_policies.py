@@ -1,0 +1,188 @@
+"""Tests for repro.cache.policies: FIFO, LFU, segmented LRU."""
+
+import pytest
+
+from repro import CacheError, EmbeddingCache
+from repro.cache import (
+    CACHE_POLICIES,
+    FifoCache,
+    LfuCache,
+    SegmentedLruCache,
+    make_cache,
+)
+
+
+class TestFifo:
+    def test_eviction_by_insertion_order(self):
+        cache = FifoCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # a read must NOT save "a"
+        cache.put("c", 3)
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+
+    def test_overwrite_keeps_position(self):
+        cache = FifoCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        cache.put("c", 3)  # evicts "a" (oldest insertion)
+        assert cache.peek("a") is None
+        assert cache.peek("b") == 2
+
+    def test_stats(self):
+        cache = FifoCache(1)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("b")
+        cache.put("b", 2)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.evictions == 1
+        assert len(cache) == 1
+        assert "b" in cache
+
+    def test_evict_all(self):
+        cache = FifoCache(2)
+        cache.put("a", 1)
+        cache.evict_all()
+        assert len(cache) == 0
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(CacheError):
+            FifoCache(0)
+
+
+class TestLfu:
+    def test_evicts_least_frequent(self):
+        cache = LfuCache(2)
+        cache.put("hot", 1)
+        cache.put("cold", 2)
+        cache.get("hot")
+        cache.get("hot")
+        cache.put("new", 3)  # evicts "cold" (freq 0 hits)
+        assert cache.peek("cold") is None
+        assert cache.peek("hot") == 1
+        assert cache.peek("new") == 3
+
+    def test_tie_breaks_by_recency(self):
+        cache = LfuCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        cache.get("b")  # equal freq; "a" is least recent
+        cache.put("c", 3)
+        assert cache.peek("a") is None
+        assert cache.peek("b") == 2
+
+    def test_overwrite_keeps_frequency(self):
+        cache = LfuCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.put("a", 9)
+        cache.put("b", 2)
+        cache.put("c", 3)  # b has freq 1 (insert), a has 2
+        assert cache.peek("a") == 9
+
+    def test_evict_all_clears_frequencies(self):
+        cache = LfuCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.evict_all()
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # "a" no longer privileged
+        assert len(cache) == 2
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(CacheError):
+            LfuCache(-1)
+
+
+class TestSegmentedLru:
+    def test_new_keys_probationary(self):
+        cache = SegmentedLruCache(4, protected_fraction=0.5)
+        for key in "abcd":
+            cache.put(key, key)
+        cache.put("e", "e")  # evicts "a" from probation
+        assert cache.peek("a") is None
+        assert len(cache) == 4
+
+    def test_hit_promotes_and_survives_scan(self):
+        cache = SegmentedLruCache(4, protected_fraction=0.5)
+        cache.put("hot", 1)
+        assert cache.get("hot") == 1  # promoted to protected
+        for key in "wxyz":
+            cache.put(key, key)  # scan floods probation
+        assert cache.peek("hot") == 1  # protected survived the scan
+
+    def test_protected_overflow_demotes(self):
+        cache = SegmentedLruCache(4, protected_fraction=0.5)  # protected cap 2
+        for key in "abc":
+            cache.put(key, key)
+            cache.get(key)  # promote each
+        # Protected holds 2; "a" was demoted back to probation.
+        assert cache.peek("a") == "a"
+        assert len(cache) == 3
+
+    def test_capacity_enforced(self):
+        cache = SegmentedLruCache(3)
+        for key in "abcdef":
+            cache.put(key, key)
+            cache.get(key)
+        assert len(cache) <= 3
+
+    def test_overwrite_in_place(self):
+        cache = SegmentedLruCache(3)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.peek("a") == 2
+        cache.get("a")
+        cache.put("a", 3)  # now protected
+        assert cache.peek("a") == 3
+
+    def test_contains_and_stats(self):
+        cache = SegmentedLruCache(2)
+        cache.put("a", 1)
+        assert "a" in cache
+        cache.get("a")
+        cache.get("zz")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(CacheError):
+            SegmentedLruCache(0)
+        with pytest.raises(CacheError):
+            SegmentedLruCache(4, protected_fraction=1.0)
+
+
+class TestPolicyRegistry:
+    def test_all_policies_constructible(self):
+        for name in CACHE_POLICIES:
+            cache = make_cache(name, 4)
+            cache.put(1, "x")
+            assert cache.get(1) == "x"
+
+    def test_unknown_policy(self):
+        with pytest.raises(CacheError):
+            make_cache("belady", 4)
+
+    def test_embedding_cache_accepts_policy(self):
+        cache = EmbeddingCache(num_keys=10, cache_ratio=0.5, policy="lfu")
+        cache.admit([1, 2])
+        hits, misses = cache.filter_hits([1, 3])
+        assert hits == [1]
+        assert misses == [3]
+
+    def test_engine_accepts_policy(self, shp_layout_small, criteo_small):
+        from repro import EngineConfig, ServingEngine
+
+        _, live = criteo_small
+        engine = ServingEngine(
+            shp_layout_small,
+            EngineConfig(cache_ratio=0.1, cache_policy="slru"),
+        )
+        report = engine.serve_trace(list(live)[:50])
+        assert report.num_queries == 50

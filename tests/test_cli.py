@@ -1,0 +1,186 @@
+"""Tests for the maxembed CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_args(self):
+        args = build_parser().parse_args(
+            ["generate", "--dataset", "avazu", "--out", "t.txt"]
+        )
+        assert args.command == "generate"
+        assert args.dataset == "avazu"
+
+    def test_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["generate", "--dataset", "netflix", "--out", "t.txt"]
+            )
+
+    def test_experiment_ids_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_generate_build_serve_pipeline(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.txt")
+        layout_path = str(tmp_path / "layout.json")
+        assert main(
+            [
+                "generate",
+                "--dataset",
+                "amazon_m2",
+                "--scale",
+                "small",
+                "--out",
+                trace_path,
+            ]
+        ) == 0
+        assert "wrote" in capsys.readouterr().out
+
+        assert main(
+            [
+                "build",
+                "--trace",
+                trace_path,
+                "--ratio",
+                "0.2",
+                "--out",
+                layout_path,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "built layout" in out
+
+        assert main(
+            ["serve", "--trace", trace_path, "--layout", layout_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "throughput_qps" in out
+        assert "effective_bandwidth" in out
+
+    def test_build_none_strategy(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.txt")
+        layout_path = str(tmp_path / "layout.json")
+        main(
+            [
+                "generate",
+                "--dataset",
+                "amazon_m2",
+                "--scale",
+                "small",
+                "--out",
+                trace_path,
+            ]
+        )
+        assert main(
+            [
+                "build",
+                "--trace",
+                trace_path,
+                "--strategy",
+                "none",
+                "--out",
+                layout_path,
+            ]
+        ) == 0
+        assert "0 replicas" in capsys.readouterr().out
+
+    def test_experiment_command(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "TCO" in capsys.readouterr().out
+
+    def test_diagnose_command(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.txt")
+        layout_path = str(tmp_path / "layout.json")
+        main(
+            [
+                "generate",
+                "--dataset",
+                "criteo",
+                "--scale",
+                "small",
+                "--out",
+                trace_path,
+            ]
+        )
+        main(
+            [
+                "build",
+                "--trace",
+                trace_path,
+                "--ratio",
+                "0.2",
+                "--out",
+                layout_path,
+            ]
+        )
+        capsys.readouterr()
+        assert main(
+            ["diagnose", "--layout", layout_path, "--trace", trace_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "num_replica_pages" in out
+        assert "hot-pair coverage" in out
+
+    def test_serve_with_selector_flags(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.txt")
+        layout_path = str(tmp_path / "layout.json")
+        main(
+            [
+                "generate",
+                "--dataset",
+                "amazon_m2",
+                "--scale",
+                "small",
+                "--out",
+                trace_path,
+            ]
+        )
+        main(
+            ["build", "--trace", trace_path, "--out", layout_path]
+        )
+        capsys.readouterr()
+        assert main(
+            [
+                "serve",
+                "--trace",
+                trace_path,
+                "--layout",
+                layout_path,
+                "--selector",
+                "greedy",
+                "--executor",
+                "serial",
+                "--cache-policy",
+                "slru",
+            ]
+        ) == 0
+        assert "throughput_qps" in capsys.readouterr().out
+
+    def test_analyze_command(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.txt")
+        main(
+            [
+                "generate",
+                "--dataset",
+                "criteo",
+                "--scale",
+                "small",
+                "--out",
+                trace_path,
+            ]
+        )
+        capsys.readouterr()
+        assert main(["analyze", "--trace", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert "gini" in out
+        assert "hot_coappearance_breadth" in out
+        assert "replication has headroom" in out

@@ -1,0 +1,107 @@
+"""Tests for repro.core.deploy: versioned layout swaps and staleness probes."""
+
+import pytest
+
+from repro import (
+    EngineConfig,
+    MaxEmbedConfig,
+    PageLayout,
+    Query,
+    ServingError,
+    ShpConfig,
+)
+from repro.core import LayoutManager, build_offline_layout
+from repro.workloads.drift import drifted_trace_for
+
+
+@pytest.fixture
+def tiny_layouts():
+    a = PageLayout(8, 4, [(0, 1, 2, 3), (4, 5, 6, 7)])
+    b = PageLayout(8, 4, [(0, 4, 1, 5), (2, 6, 3, 7)])
+    return a, b
+
+
+class TestRegistryAndSwap:
+    def test_initial_version_active(self, tiny_layouts):
+        manager = LayoutManager(tiny_layouts[0])
+        assert manager.active_version == 0
+        assert manager.versions()[0].label == "initial"
+        assert manager.engine.layout is tiny_layouts[0]
+
+    def test_register_and_swap(self, tiny_layouts):
+        a, b = tiny_layouts
+        manager = LayoutManager(a)
+        record = manager.register(b, label="rebuilt")
+        assert record.version == 1
+        manager.swap(1)
+        assert manager.active_version == 1
+        assert manager.engine.layout is b
+
+    def test_swap_unknown_version(self, tiny_layouts):
+        manager = LayoutManager(tiny_layouts[0])
+        with pytest.raises(ServingError):
+            manager.swap(5)
+
+    def test_register_rejects_different_key_space(self, tiny_layouts):
+        manager = LayoutManager(tiny_layouts[0])
+        other = PageLayout(4, 4, [(0, 1, 2, 3)])
+        with pytest.raises(ServingError):
+            manager.register(other)
+
+    def test_swap_keeps_cache_by_default(self, tiny_layouts):
+        a, b = tiny_layouts
+        manager = LayoutManager(a, EngineConfig(cache_ratio=1.0))
+        manager.engine.serve_query(Query((0, 1)))
+        manager.register(b)
+        manager.swap(1, keep_cache=True)
+        result = manager.engine.serve_query(Query((0, 1)), start_us=100.0)
+        assert result.cache_hits == 2  # warm cache survived the swap
+
+    def test_swap_can_drop_cache(self, tiny_layouts):
+        a, b = tiny_layouts
+        manager = LayoutManager(a, EngineConfig(cache_ratio=1.0))
+        manager.engine.serve_query(Query((0, 1)))
+        manager.register(b)
+        manager.swap(1, keep_cache=False)
+        result = manager.engine.serve_query(Query((0, 1)), start_us=100.0)
+        assert result.cache_hits == 0  # cold restart
+
+    def test_serving_works_after_swap(self, tiny_layouts):
+        a, b = tiny_layouts
+        manager = LayoutManager(a, EngineConfig(cache_ratio=0.0))
+        manager.register(b)
+        manager.swap(1)
+        result = manager.engine.serve_query(Query((0, 4)))
+        assert result.pages_read == 1  # layout b co-locates 0 and 4
+
+
+class TestStalenessProbe:
+    def test_probe_prefers_matching_layout(self, criteo_small):
+        history, live = criteo_small
+        config = MaxEmbedConfig(
+            replication_ratio=0.2, shp=ShpConfig(max_iterations=4, seed=0)
+        )
+        fresh = build_offline_layout(history, config)
+        drifted = drifted_trace_for("criteo", scale="small", drift_seed=9)
+        drifted_history, drifted_live = drifted.split(0.5)
+        stale_for_drift = build_offline_layout(drifted_history, config)
+
+        manager = LayoutManager(fresh)
+        manager.register(stale_for_drift, label="rebuilt")
+
+        on_fresh = manager.staleness_probe(live, max_queries=200)
+        assert on_fresh["initial"] > on_fresh["rebuilt"]
+        assert on_fresh["active_share_of_best"] == pytest.approx(1.0)
+
+        on_drifted = manager.staleness_probe(drifted_live, max_queries=200)
+        assert on_drifted["rebuilt"] > on_drifted["initial"]
+        assert on_drifted["active_share_of_best"] < 1.0
+
+    def test_probe_requires_activation(self, tiny_layouts):
+        manager = LayoutManager(tiny_layouts[0])
+        # active by construction; direct probe works
+        from repro import QueryTrace
+
+        window = QueryTrace(8, [Query((0, 1))])
+        scores = manager.staleness_probe(window)
+        assert "initial" in scores

@@ -1,0 +1,148 @@
+"""Tests for the canonical DLRM: embedding bags + dot interactions."""
+
+import numpy as np
+import pytest
+
+from repro import ConfigError, MaxEmbedConfig, ShpConfig
+from repro.core import MaxEmbedStore
+from repro.dlrm import (
+    EmbeddingBagCollection,
+    InteractionDlrmModel,
+    TableSet,
+    dot_interactions,
+)
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    history, _ = request.getfixturevalue("criteo_small")
+    n = history.num_keys
+    tables = TableSet.from_cardinalities(
+        {"user": n // 3, "item": n // 3, "ctx": n - 2 * (n // 3)}
+    )
+    table = (
+        np.random.default_rng(0).normal(size=(n, 64)).astype(np.float32)
+    )
+    store = MaxEmbedStore.build(
+        history,
+        MaxEmbedConfig(shp=ShpConfig(max_iterations=4, seed=0)),
+        table=table,
+    )
+    return store, tables, table
+
+
+class TestDotInteractions:
+    def test_shape(self):
+        feats = np.random.default_rng(0).normal(size=(2, 4, 8))
+        out = dot_interactions(feats)
+        assert out.shape == (2, 6)  # C(4, 2)
+
+    def test_values_are_pairwise_dots(self):
+        a = np.array([[[1.0, 0.0], [0.0, 2.0], [3.0, 3.0]]])
+        out = dot_interactions(a)
+        # pairs: (0,1)=0, (0,2)=3, (1,2)=6
+        assert np.allclose(out, [[0.0, 3.0, 6.0]])
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ConfigError):
+            dot_interactions(np.zeros((2, 3)))
+
+
+class TestEmbeddingBagCollection:
+    def test_sum_pooling_matches_table(self, setup):
+        store, tables, table = setup
+        bags = EmbeddingBagCollection(store, tables, mode="sum")
+        pooled = bags.forward_one({"user": [1, 2], "item": [0]})
+        user_keys = [tables.global_key("user", i) for i in (1, 2)]
+        assert np.allclose(
+            pooled[0], table[user_keys].sum(axis=0), atol=1e-4
+        )
+        # ctx table absent: zero vector.
+        assert np.allclose(pooled[2], 0.0)
+
+    def test_mean_pooling(self, setup):
+        store, tables, table = setup
+        bags = EmbeddingBagCollection(store, tables, mode="mean")
+        pooled = bags.forward_one({"user": [1, 3]})
+        user_keys = [tables.global_key("user", i) for i in (1, 3)]
+        assert np.allclose(
+            pooled[0], table[user_keys].mean(axis=0), atol=1e-4
+        )
+
+    def test_duplicate_ids_pooled_once(self, setup):
+        store, tables, table = setup
+        bags = EmbeddingBagCollection(store, tables)
+        a = bags.forward_one({"user": [2, 2]})
+        b = bags.forward_one({"user": [2]})
+        assert np.allclose(a, b)
+
+    def test_batch_shape(self, setup):
+        store, tables, _ = setup
+        bags = EmbeddingBagCollection(store, tables)
+        out = bags.forward([{"user": [0]}, {"item": [1, 2]}])
+        assert out.shape == (2, 3, 64)
+
+    def test_validation(self, setup):
+        store, tables, _ = setup
+        with pytest.raises(ConfigError):
+            EmbeddingBagCollection(store, tables, mode="max")
+        small = TableSet.from_cardinalities({"only": 4})
+        with pytest.raises(ConfigError):
+            EmbeddingBagCollection(store, small)
+        bags = EmbeddingBagCollection(store, tables)
+        with pytest.raises(ConfigError):
+            bags.forward_one({"user": []})
+        with pytest.raises(ConfigError):
+            bags.forward([])
+
+
+class TestInteractionDlrm:
+    def test_predict_shapes_and_range(self, setup):
+        store, tables, _ = setup
+        bags = EmbeddingBagCollection(store, tables)
+        model = InteractionDlrmModel(bags, dense_dim=8, seed=0)
+        dense = np.random.default_rng(1).normal(size=(3, 8))
+        sparse = [
+            {"user": [0, 1], "item": [2]},
+            {"item": [3, 4], "ctx": [0]},
+            {"user": [5]},
+        ]
+        probs = model.predict(dense, sparse)
+        assert probs.shape == (3,)
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_predict_one(self, setup):
+        store, tables, _ = setup
+        bags = EmbeddingBagCollection(store, tables)
+        model = InteractionDlrmModel(bags, dense_dim=4, seed=0)
+        prob = model.predict_one(np.ones(4), {"user": [1]})
+        assert 0.0 < prob < 1.0
+
+    def test_deterministic(self, setup):
+        store, tables, _ = setup
+        bags = EmbeddingBagCollection(store, tables)
+        model = InteractionDlrmModel(bags, dense_dim=4, seed=0)
+        dense = np.ones((1, 4))
+        sparse = [{"user": [1], "item": [1]}]
+        assert np.allclose(
+            model.predict(dense, sparse), model.predict(dense, sparse)
+        )
+
+    def test_interactions_affect_output(self, setup):
+        # Same dense input, different sparse ids => different score.
+        store, tables, _ = setup
+        bags = EmbeddingBagCollection(store, tables)
+        model = InteractionDlrmModel(bags, dense_dim=4, seed=0)
+        dense = np.ones(4)
+        a = model.predict_one(dense, {"user": [1]})
+        b = model.predict_one(dense, {"user": [7]})
+        assert a != pytest.approx(b, abs=1e-9)
+
+    def test_validation(self, setup):
+        store, tables, _ = setup
+        bags = EmbeddingBagCollection(store, tables)
+        with pytest.raises(ConfigError):
+            InteractionDlrmModel(bags, dense_dim=0)
+        model = InteractionDlrmModel(bags, dense_dim=4, seed=0)
+        with pytest.raises(ConfigError):
+            model.predict(np.ones((2, 4)), [{"user": [1]}])

@@ -1,0 +1,129 @@
+"""Tests for repro.dlrm.tables: multi-table key-space mapping."""
+
+import pytest
+
+from repro import ConfigError
+from repro.dlrm import TableSet, TableSpec
+
+
+@pytest.fixture
+def tables():
+    return TableSet(
+        [
+            TableSpec("user", 100),
+            TableSpec("item", 500),
+            TableSpec("context", 50),
+        ]
+    )
+
+
+class TestTableSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TableSpec("", 10)
+        with pytest.raises(ConfigError):
+            TableSpec("x", 0)
+
+
+class TestTableSet:
+    def test_geometry(self, tables):
+        assert tables.num_tables == 3
+        assert tables.total_keys == 650
+        assert [t.name for t in tables.tables()] == [
+            "user",
+            "item",
+            "context",
+        ]
+
+    def test_offsets_contiguous(self, tables):
+        assert tables.offset("user") == 0
+        assert tables.offset("item") == 100
+        assert tables.offset("context") == 600
+
+    def test_global_key(self, tables):
+        assert tables.global_key("user", 0) == 0
+        assert tables.global_key("item", 7) == 107
+        assert tables.global_key("context", 49) == 649
+
+    def test_global_key_range_checked(self, tables):
+        with pytest.raises(ConfigError):
+            tables.global_key("user", 100)
+        with pytest.raises(ConfigError):
+            tables.global_key("user", -1)
+        with pytest.raises(ConfigError):
+            tables.global_key("ghost", 0)
+
+    def test_resolve_round_trip(self, tables):
+        for table, local in (("user", 5), ("item", 499), ("context", 0)):
+            key = tables.global_key(table, local)
+            assert tables.resolve(key) == (table, local)
+
+    def test_resolve_range_checked(self, tables):
+        with pytest.raises(ConfigError):
+            tables.resolve(650)
+        with pytest.raises(ConfigError):
+            tables.resolve(-1)
+
+    def test_from_cardinalities(self):
+        ts = TableSet.from_cardinalities({"a": 4, "b": 6})
+        assert ts.total_keys == 10
+        assert ts.offset("b") == 4
+
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(ConfigError):
+            TableSet([TableSpec("a", 1), TableSpec("a", 2)])
+        with pytest.raises(ConfigError):
+            TableSet([])
+
+
+class TestQueryBuilding:
+    def test_build_query_merges_tables(self, tables):
+        query = tables.build_query(
+            {"user": [3], "item": [10, 20], "context": [1]}
+        )
+        assert set(query.keys) == {3, 110, 120, 601}
+
+    def test_build_query_rejects_empty(self, tables):
+        with pytest.raises(ConfigError):
+            tables.build_query({"user": []})
+
+    def test_split_result_regroups(self, tables):
+        vectors = {3: "u3", 110: "i10", 601: "c1"}
+        grouped = tables.split_result(vectors)
+        assert grouped["user"] == {3: "u3"}
+        assert grouped["item"] == {10: "i10"}
+        assert grouped["context"] == {1: "c1"}
+
+    def test_end_to_end_with_store(self, criteo_small):
+        # Carve the small trace's key space into three tables and serve a
+        # cross-table query through a real store.
+        import numpy as np
+
+        from repro import MaxEmbedConfig, ShpConfig
+        from repro.core import MaxEmbedStore
+
+        history, _ = criteo_small
+        n = history.num_keys
+        tables = TableSet.from_cardinalities(
+            {"user": n // 4, "item": n // 2, "context": n - n // 4 - n // 2}
+        )
+        assert tables.total_keys == n
+        table = np.random.default_rng(0).normal(size=(n, 64)).astype(
+            np.float32
+        )
+        store = MaxEmbedStore.build(
+            history,
+            MaxEmbedConfig(shp=ShpConfig(max_iterations=4, seed=0)),
+            table=table,
+        )
+        query = tables.build_query(
+            {"user": [1, 2], "item": [0, 3], "context": [5]}
+        )
+        vectors = store.lookup(query)
+        grouped = tables.split_result(vectors)
+        assert set(grouped["user"]) == {1, 2}
+        assert set(grouped["item"]) == {0, 3}
+        assert set(grouped["context"]) == {5}
+        for local_id, vec in grouped["item"].items():
+            global_key = tables.global_key("item", local_id)
+            assert np.allclose(vec, table[global_key])

@@ -1,0 +1,82 @@
+"""Tests for workload drift synthesis and the drift experiment."""
+
+import pytest
+
+from repro import Query, QueryTrace, WorkloadError, make_trace
+from repro.experiments import clear_caches
+from repro.experiments.drift import run as run_drift
+from repro.workloads.drift import blend_traces, drifted_trace_for
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+class TestBlendTraces:
+    @pytest.fixture
+    def pair(self):
+        stable = QueryTrace(8, [Query((0, 1))] * 10)
+        drifted = QueryTrace(8, [Query((6, 7))] * 4)
+        return stable, drifted
+
+    def test_zero_drift_is_stable(self, pair):
+        stable, drifted = pair
+        blended = blend_traces(stable, drifted, 0.0, seed=0)
+        assert [q.keys for q in blended] == [q.keys for q in stable]
+
+    def test_full_drift_is_drifted(self, pair):
+        stable, drifted = pair
+        blended = blend_traces(stable, drifted, 1.0, seed=0)
+        assert all(q.keys == (6, 7) for q in blended)
+        assert len(blended) == len(stable)
+
+    def test_partial_drift_mixes(self, pair):
+        stable, drifted = pair
+        blended = blend_traces(stable, drifted, 0.5, seed=0)
+        kinds = {q.keys for q in blended}
+        assert kinds == {(0, 1), (6, 7)}
+
+    def test_deterministic(self, pair):
+        stable, drifted = pair
+        a = blend_traces(stable, drifted, 0.5, seed=7)
+        b = blend_traces(stable, drifted, 0.5, seed=7)
+        assert [q.keys for q in a] == [q.keys for q in b]
+
+    def test_validation(self, pair):
+        stable, drifted = pair
+        with pytest.raises(WorkloadError):
+            blend_traces(stable, drifted, 1.5)
+        with pytest.raises(WorkloadError):
+            blend_traces(stable, QueryTrace(9, [Query((0,))]), 0.5)
+        with pytest.raises(WorkloadError):
+            blend_traces(stable, QueryTrace(8), 0.5)
+
+
+class TestDriftedTraceFor:
+    def test_same_universe_different_structure(self):
+        base, _ = make_trace("criteo", scale="small", seed=0)
+        drifted = drifted_trace_for("criteo", scale="small", drift_seed=1)
+        assert drifted.num_keys == base.num_keys
+        assert len(drifted) == len(base)
+        assert [q.keys for q in drifted] != [q.keys for q in base]
+
+    def test_rejects_same_seed(self):
+        with pytest.raises(WorkloadError):
+            drifted_trace_for("criteo", base_seed=1, drift_seed=1)
+
+
+class TestDriftExperiment:
+    def test_edge_erodes_and_rebuild_recovers(self):
+        result = run_drift(
+            scale="small",
+            seed=3,
+            drift_levels=(0.0, 1.0),
+            max_queries=300,
+        )
+        fresh, full = result.rows
+        assert fresh[3] > 1.0  # MaxEmbed edge on fresh traffic
+        assert full[3] < fresh[3]  # edge eroded at full drift
+        assert full[4] > full[2]  # rebuild wins on drifted traffic

@@ -1,0 +1,47 @@
+"""Every example script must run clean end to end.
+
+Examples are the adoption surface; a refactor that breaks one breaks the
+README.  Each runs in a subprocess with a generous timeout and must exit
+zero and print its closing line.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": "effective bandwidth",
+    "advertising_ctr_serving.py": "Expected shape",
+    "shopping_dlrm_inference.py": "vector integrity check passed",
+    "capacity_planning.py": "Reading the tables",
+    "placement_anatomy.py": "hot-pair coverage",
+    "drift_operations.py": "post-swap serving",
+    "slo_load_planning.py": "within the p99 budget",
+}
+
+
+def test_every_example_is_covered():
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED_SNIPPETS), (
+        "examples/ and EXPECTED_SNIPPETS are out of sync"
+    )
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_SNIPPETS))
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\n{completed.stderr[-2000:]}"
+    )
+    assert EXPECTED_SNIPPETS[script] in completed.stdout, (
+        f"{script} did not print its closing line"
+    )

@@ -1,0 +1,212 @@
+"""Tests for repro.hypergraph: structure, builders, stats, io."""
+
+import pytest
+
+from repro import HypergraphError, Query, QueryTrace
+from repro.hypergraph import (
+    Hypergraph,
+    build_hypergraph,
+    build_weighted_hypergraph,
+    compute_stats,
+    load_hypergraph,
+    save_hypergraph,
+    vertex_cooccurrence,
+)
+from repro.hypergraph.hypergraph import merge_duplicate_edges
+from repro.hypergraph.stats import (
+    distinct_neighbour_counts,
+    hot_vertex_neighbour_breadth,
+)
+
+
+class TestHypergraph:
+    def test_basic_counts(self, tiny_graph):
+        assert tiny_graph.num_vertices == 12
+        assert tiny_graph.num_edges == 7
+        assert tiny_graph.total_pin_count() == 4 + 3 + 4 + 3 + 2 + 2 + 2
+
+    def test_edge_access(self, tiny_graph):
+        assert tiny_graph.edge(0) == (0, 1, 2, 3)
+        assert tiny_graph.weight(0) == 1
+
+    def test_duplicate_vertices_within_edge_are_deduped(self):
+        g = Hypergraph(4, [(1, 1, 2)])
+        assert g.edge(0) == (1, 2)
+
+    def test_rejects_empty_edge(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(4, [()])
+
+    def test_rejects_out_of_range_vertex(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(4, [(0, 4)])
+
+    def test_rejects_nonpositive_vertex_count(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(0, [])
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph(4, [(0, 1)], weights=[1, 2])
+        with pytest.raises(HypergraphError):
+            Hypergraph(4, [(0, 1)], weights=[0])
+
+    def test_vertex_edges_incidence(self, tiny_graph):
+        assert tiny_graph.vertex_edges(0) == [0, 1]
+        assert tiny_graph.vertex_edges(7) == [2, 6]
+        assert tiny_graph.vertex_edges(9) == [4]
+
+    def test_vertex_edges_rejects_out_of_range(self, tiny_graph):
+        with pytest.raises(HypergraphError):
+            tiny_graph.vertex_edges(12)
+
+    def test_degree_is_weighted(self):
+        g = Hypergraph(3, [(0, 1), (0, 2)], weights=[3, 2])
+        assert g.degree(0) == 5
+        assert g.degree(1) == 3
+        assert g.degrees() == [5, 3, 2]
+
+    def test_edge_items_yields_weights(self):
+        g = Hypergraph(3, [(0, 1)], weights=[4])
+        items = list(g.edge_items())
+        assert items == [(0, (0, 1), 4)]
+
+    def test_subgraph_on_edges(self, tiny_graph):
+        sub = tiny_graph.subgraph_on_edges([0, 2])
+        assert sub.num_edges == 2
+        assert sub.num_vertices == tiny_graph.num_vertices
+        assert sub.edge(0) == (0, 1, 2, 3)
+
+
+class TestMergeDuplicateEdges:
+    def test_merges_order_insensitively(self):
+        edges, weights = merge_duplicate_edges([(1, 2), (2, 1), (3,)])
+        assert edges == [(1, 2), (3,)]
+        assert weights == [2, 1]
+
+    def test_dedupes_within_edge_before_merging(self):
+        edges, weights = merge_duplicate_edges([(1, 2, 2), (1, 2)])
+        assert edges == [(1, 2)]
+        assert weights == [2]
+
+    def test_rejects_empty(self):
+        with pytest.raises(HypergraphError):
+            merge_duplicate_edges([()])
+
+
+class TestBuilders:
+    def test_build_one_edge_per_query(self, tiny_trace):
+        g = build_hypergraph(tiny_trace)
+        assert g.num_edges == len(tiny_trace)
+        assert g.num_vertices == tiny_trace.num_keys
+
+    def test_min_edge_size_filters_singletons(self):
+        trace = QueryTrace(5, [Query((1,)), Query((1, 2))])
+        g = build_hypergraph(trace, min_edge_size=2)
+        assert g.num_edges == 1
+
+    def test_max_edges_caps_head(self, tiny_trace):
+        g = build_hypergraph(tiny_trace, max_edges=3)
+        assert g.num_edges == 3
+
+    def test_all_filtered_raises(self):
+        trace = QueryTrace(5, [Query((1,))])
+        with pytest.raises(HypergraphError):
+            build_hypergraph(trace, min_edge_size=2)
+
+    def test_rejects_bad_min_edge_size(self, tiny_trace):
+        with pytest.raises(HypergraphError):
+            build_hypergraph(tiny_trace, min_edge_size=0)
+
+    def test_weighted_builder_merges_repeats(self):
+        trace = QueryTrace(
+            5, [Query((1, 2)), Query((2, 1)), Query((3, 4))]
+        )
+        g = build_weighted_hypergraph(trace)
+        assert g.num_edges == 2
+        assert sorted(g.weight(e) for e in range(2)) == [1, 2]
+
+    def test_weighted_builder_preserves_total_mass(self, criteo_small):
+        history, _ = criteo_small
+        plain = build_hypergraph(history)
+        weighted = build_weighted_hypergraph(history)
+        assert weighted.num_edges <= plain.num_edges
+        total_weight = sum(
+            weighted.weight(e) for e in range(weighted.num_edges)
+        )
+        assert total_weight == plain.num_edges
+
+
+class TestStats:
+    def test_compute_stats_counts(self, tiny_graph):
+        stats = compute_stats(tiny_graph)
+        assert stats.num_vertices == 12
+        assert stats.num_edges == 7
+        assert stats.max_edge_size == 4
+        assert stats.isolated_vertices == 0
+        assert stats.mean_edge_size == pytest.approx(20 / 7)
+
+    def test_isolated_vertices_detected(self):
+        g = Hypergraph(5, [(0, 1)])
+        assert compute_stats(g).isolated_vertices == 3
+
+    def test_as_dict_round_trips_fields(self, tiny_graph):
+        d = compute_stats(tiny_graph).as_dict()
+        assert d["num_vertices"] == 12
+        assert set(d) >= {"mean_degree", "max_degree", "total_pins"}
+
+    def test_vertex_cooccurrence_weighted(self):
+        g = Hypergraph(4, [(0, 1), (0, 1, 2)], weights=[2, 1])
+        counts = vertex_cooccurrence(g, 0)
+        assert counts[1] == 3
+        assert counts[2] == 1
+        assert 0 not in counts
+
+    def test_distinct_neighbour_counts(self, tiny_graph):
+        counts = distinct_neighbour_counts(tiny_graph)
+        assert counts[0] == 3  # 1, 2, 3
+        assert counts[3] == 4  # 0, 1, 2, 7
+        assert counts[8] == 1
+
+    def test_hot_vertex_breadth_exceeds_mean(self, small_graph):
+        # The paper's motivation: hot vertices co-appear with far more
+        # partners than average (and more than a page holds).
+        import numpy as np
+
+        hot = hot_vertex_neighbour_breadth(small_graph, 0.05)
+        overall = float(
+            np.mean(distinct_neighbour_counts(small_graph))
+        )
+        assert hot > overall
+
+    def test_hot_vertex_breadth_rejects_bad_fraction(self, tiny_graph):
+        with pytest.raises(ValueError):
+            hot_vertex_neighbour_breadth(tiny_graph, 0.0)
+
+
+class TestIo:
+    def test_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.json"
+        save_hypergraph(tiny_graph, path)
+        loaded = load_hypergraph(path)
+        assert loaded.num_vertices == tiny_graph.num_vertices
+        assert loaded.num_edges == tiny_graph.num_edges
+        assert [loaded.edge(e) for e in range(loaded.num_edges)] == [
+            tiny_graph.edge(e) for e in range(tiny_graph.num_edges)
+        ]
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(HypergraphError):
+            load_hypergraph(tmp_path / "absent.json")
+
+    def test_load_malformed_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(HypergraphError):
+            load_hypergraph(path)
+
+    def test_load_missing_field_raises(self, tmp_path):
+        path = tmp_path / "partial.json"
+        path.write_text('{"num_vertices": 3, "edges": [[0, 1]]}')
+        with pytest.raises(HypergraphError, match="weights"):
+            load_hypergraph(path)

@@ -1,0 +1,105 @@
+"""Tests for repro.replication.incremental: online replica refresh."""
+
+import pytest
+
+from repro import ConfigError, PageLayout, Query, QueryTrace
+from repro.metrics import evaluate_placement
+from repro.replication import IncrementalReplicator
+from repro.workloads.drift import drifted_trace_for
+
+
+@pytest.fixture
+def layout():
+    return PageLayout(8, 4, [(0, 1, 2, 3), (4, 5, 6, 7)])
+
+
+@pytest.fixture
+def cross_window():
+    """Queries that straddle the two base pages: (0,4) is the hot combo."""
+    return QueryTrace(8, [Query((0, 4))] * 6 + [Query((1, 5))] * 2)
+
+
+class TestExtend:
+    def test_zero_budget_returns_same_layout(self, layout, cross_window):
+        assert (
+            IncrementalReplicator().extend(layout, cross_window, 0)
+            is layout
+        )
+
+    def test_appends_page_for_hot_cross_combo(self, layout, cross_window):
+        refreshed = IncrementalReplicator().extend(layout, cross_window, 1)
+        assert refreshed.num_pages == 3
+        new_page = set(refreshed.page(2))
+        assert {0, 4} <= new_page  # the hottest straddling pair
+
+    def test_base_pages_untouched(self, layout, cross_window):
+        refreshed = IncrementalReplicator().extend(layout, cross_window, 2)
+        assert refreshed.pages()[:2] == layout.pages()
+        assert refreshed.num_base_pages == layout.num_base_pages
+
+    def test_budget_respected(self, layout, cross_window):
+        refreshed = IncrementalReplicator().extend(layout, cross_window, 1)
+        assert refreshed.num_pages - layout.num_pages <= 1
+
+    def test_no_duplicate_pages_emitted(self, layout):
+        # The only combo is already co-located on a base page: nothing to add.
+        window = QueryTrace(8, [Query((0, 1))] * 5)
+        refreshed = IncrementalReplicator().extend(layout, window, 3)
+        assert refreshed is layout
+
+    def test_already_replicated_combo_scores_zero(self, cross_window):
+        # Layout already carries the (0, 4) replica: refresh should not
+        # spend budget re-covering it.
+        layout = PageLayout(
+            8,
+            4,
+            [(0, 1, 2, 3), (4, 5, 6, 7), (0, 4)],
+            num_base_pages=2,
+        )
+        window = QueryTrace(8, [Query((0, 4))] * 10)
+        refreshed = IncrementalReplicator().extend(layout, window, 2)
+        assert refreshed is layout
+
+    def test_improves_bandwidth_on_observed_window(
+        self, layout, cross_window
+    ):
+        before = evaluate_placement(layout, cross_window)
+        refreshed = IncrementalReplicator().extend(layout, cross_window, 2)
+        after = evaluate_placement(refreshed, cross_window)
+        assert after.effective_fraction() > before.effective_fraction()
+
+    def test_validation(self, layout):
+        replicator = IncrementalReplicator()
+        with pytest.raises(ConfigError):
+            replicator.extend(layout, QueryTrace(9, [Query((0,))]), 1)
+        with pytest.raises(ConfigError):
+            replicator.extend(
+                layout, QueryTrace(8, [Query((0,))]), -1
+            )
+
+
+class TestDriftRecovery:
+    def test_refresh_recovers_on_drifted_traffic(self, criteo_small):
+        from repro import MaxEmbedConfig, ShpConfig
+        from repro.core import build_offline_layout
+
+        history, _ = criteo_small
+        layout = build_offline_layout(
+            history,
+            MaxEmbedConfig(
+                replication_ratio=0.4,
+                shp=ShpConfig(max_iterations=6, seed=0),
+            ),
+        )
+        drifted = drifted_trace_for("criteo", scale="small", drift_seed=9)
+        d_history, d_live = drifted.split(0.5)
+        stale = evaluate_placement(
+            layout, d_live, max_queries=200
+        ).effective_fraction()
+        refreshed = IncrementalReplicator().extend(
+            layout, d_history, layout.num_replica_pages
+        )
+        after = evaluate_placement(
+            refreshed, d_live, max_queries=200
+        ).effective_fraction()
+        assert after > stale

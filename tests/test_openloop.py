@@ -1,0 +1,130 @@
+"""Tests for repro.serving.openloop: Poisson-arrival load simulation."""
+
+import pytest
+
+from repro import EngineConfig, PageLayout, Query, ServingEngine, ServingError
+from repro.serving import OpenLoopSimulator
+from repro.serving.openloop import OpenLoopReport, OpenLoopResult
+
+
+@pytest.fixture
+def engine():
+    layout = PageLayout(
+        num_keys=8,
+        capacity=4,
+        pages=[(0, 1, 2, 3), (4, 5, 6, 7)],
+    )
+    return ServingEngine(layout, EngineConfig(cache_ratio=0.0, threads=2))
+
+
+@pytest.fixture
+def stream():
+    return [Query((k % 8,)) for k in range(200)]
+
+
+class TestOpenLoopResult:
+    def test_latency_decomposition(self):
+        result = OpenLoopResult(arrival_us=10.0, start_us=15.0, finish_us=40.0)
+        assert result.queue_wait_us == pytest.approx(5.0)
+        assert result.latency_us == pytest.approx(30.0)
+
+
+class TestOpenLoopReport:
+    def test_empty_report(self):
+        report = OpenLoopReport(offered_qps=100.0)
+        assert report.mean_latency_us() == 0.0
+        assert report.percentile_latency_us(99) == 0.0
+        assert report.mean_queue_wait_us() == 0.0
+        assert report.achieved_qps() == 0.0
+
+
+class TestSimulator:
+    def test_low_load_has_no_queueing(self, engine, stream):
+        simulator = OpenLoopSimulator(engine, seed=0)
+        report = simulator.run(stream, offered_qps=1000.0)
+        # At 1k qps against a >100k qps engine, queue waits are ~zero.
+        assert report.mean_queue_wait_us() < 1.0
+        assert report.mean_latency_us() > 0.0
+
+    def test_latency_grows_with_load(self, stream):
+        def fresh_engine():
+            layout = PageLayout(8, 4, [(0, 1, 2, 3), (4, 5, 6, 7)])
+            return ServingEngine(
+                layout, EngineConfig(cache_ratio=0.0, threads=2)
+            )
+
+        low = OpenLoopSimulator(fresh_engine(), seed=0).run(
+            stream, offered_qps=5_000.0
+        )
+        high = OpenLoopSimulator(fresh_engine(), seed=0).run(
+            stream, offered_qps=2_000_000.0
+        )
+        assert high.mean_latency_us() > low.mean_latency_us()
+        assert high.mean_queue_wait_us() > low.mean_queue_wait_us()
+
+    def test_achieved_tracks_offered_at_low_load(self, engine, stream):
+        simulator = OpenLoopSimulator(engine, seed=1)
+        report = simulator.run(stream, offered_qps=10_000.0)
+        assert report.achieved_qps() == pytest.approx(10_000.0, rel=0.35)
+
+    def test_warmup_excluded(self, engine, stream):
+        simulator = OpenLoopSimulator(engine, seed=0)
+        report = simulator.run(stream, offered_qps=1000.0, warmup_fraction=0.5)
+        assert len(report.results) == len(stream) - len(stream) // 2
+
+    def test_deterministic_under_seed(self, stream):
+        def run(seed):
+            layout = PageLayout(8, 4, [(0, 1, 2, 3), (4, 5, 6, 7)])
+            engine = ServingEngine(layout, EngineConfig(cache_ratio=0.0))
+            return OpenLoopSimulator(engine, seed=seed).run(
+                stream, offered_qps=50_000.0
+            )
+
+        assert run(3).mean_latency_us() == run(3).mean_latency_us()
+
+    def test_validation(self, engine, stream):
+        simulator = OpenLoopSimulator(engine, seed=0)
+        with pytest.raises(ServingError):
+            simulator.run(stream, offered_qps=0.0)
+        with pytest.raises(ServingError):
+            simulator.run([], offered_qps=100.0)
+        with pytest.raises(ServingError):
+            simulator.run(stream, offered_qps=100.0, warmup_fraction=1.0)
+
+    def test_latency_curve(self, engine, stream):
+        simulator = OpenLoopSimulator(engine, seed=0)
+        reports = simulator.latency_curve(
+            stream, load_points=(0.1, 0.5), capacity_qps=100_000.0
+        )
+        assert len(reports) == 2
+        assert reports[0].offered_qps < reports[1].offered_qps
+
+    def test_latency_curve_validation(self, engine, stream):
+        simulator = OpenLoopSimulator(engine, seed=0)
+        with pytest.raises(ServingError):
+            simulator.latency_curve(stream, (0.5,), capacity_qps=0.0)
+        with pytest.raises(ServingError):
+            simulator.latency_curve(stream, (0.0,), capacity_qps=1000.0)
+
+    def test_maxembed_lowers_tail_latency_under_load(
+        self, criteo_small, shp_layout_small, maxembed_layout_small
+    ):
+        _, live = criteo_small
+        queries = list(live)[:250]
+        p99 = {}
+        for name, layout in (
+            ("shp", shp_layout_small),
+            ("me", maxembed_layout_small),
+        ):
+            engine = ServingEngine(
+                layout, EngineConfig(cache_ratio=0.0, index_limit=5)
+            )
+            capacity = engine.serve_trace(queries).throughput_qps()
+            engine2 = ServingEngine(
+                layout, EngineConfig(cache_ratio=0.0, index_limit=5)
+            )
+            report = OpenLoopSimulator(engine2, seed=0).run(
+                queries, offered_qps=capacity * 0.7
+            )
+            p99[name] = report.percentile_latency_us(99)
+        assert p99["me"] <= p99["shp"] * 1.1

@@ -1,0 +1,107 @@
+"""Tests for repro.placement.diagnostics."""
+
+import pytest
+
+from repro import PageLayout, PlacementError, Query, QueryTrace
+from repro.placement import hot_pair_coverage, layout_report
+
+
+@pytest.fixture
+def layout():
+    return PageLayout(
+        num_keys=8,
+        capacity=4,
+        pages=[
+            (0, 1, 2, 3),
+            (4, 5, 6, 7),
+            (0, 4, 5),     # replica, 3/4 slots
+            (0, 4, 6, 7),  # replica, full
+        ],
+        num_base_pages=2,
+    )
+
+
+class TestLayoutReport:
+    def test_counts(self, layout):
+        report = layout_report(layout)
+        assert report.num_pages == 4
+        assert report.num_base_pages == 2
+        assert report.num_replica_pages == 2
+
+    def test_slot_utilization(self, layout):
+        report = layout_report(layout)
+        assert report.slot_utilization == pytest.approx(15 / 16)
+        assert report.replica_slot_utilization == pytest.approx(7 / 8)
+
+    def test_replica_overlap(self, layout):
+        report = layout_report(layout)
+        # pages {0,4,5} and {0,4,6,7}: |∩|=2, |∪|=5.
+        assert report.mean_replica_overlap == pytest.approx(2 / 5)
+
+    def test_max_replica_count(self, layout):
+        assert layout_report(layout).max_replica_count == 3  # key 0 and 4
+
+    def test_no_replicas(self):
+        plain = PageLayout(4, 4, [(0, 1, 2, 3)])
+        report = layout_report(plain)
+        assert report.mean_replica_overlap == 0.0
+        assert report.replica_slot_utilization == 1.0
+
+    def test_as_dict(self, layout):
+        d = layout_report(layout).as_dict()
+        assert set(d) >= {"slot_utilization", "mean_replica_overlap"}
+
+
+class TestHotPairCoverage:
+    def test_fully_covered(self, layout):
+        trace = QueryTrace(8, [Query((0, 4))] * 5 + [Query((1, 2))] * 3)
+        assert hot_pair_coverage(layout, trace) == 1.0
+
+    def test_uncovered_pair(self, layout):
+        trace = QueryTrace(8, [Query((1, 7))] * 5)
+        assert hot_pair_coverage(layout, trace) == 0.0
+
+    def test_partial(self, layout):
+        trace = QueryTrace(
+            8, [Query((0, 4))] * 5 + [Query((1, 7))] * 5
+        )
+        assert hot_pair_coverage(layout, trace, top_pairs=2) == 0.5
+
+    def test_top_pairs_truncates(self, layout):
+        trace = QueryTrace(
+            8, [Query((0, 4))] * 9 + [Query((1, 7))] * 1
+        )
+        assert hot_pair_coverage(layout, trace, top_pairs=1) == 1.0
+
+    def test_empty_pairs(self, layout):
+        trace = QueryTrace(8, [Query((3,))])
+        assert hot_pair_coverage(layout, trace) == 0.0
+
+    def test_validation(self, layout):
+        trace = QueryTrace(8, [Query((0, 4))])
+        with pytest.raises(PlacementError):
+            hot_pair_coverage(layout, trace, top_pairs=0)
+        with pytest.raises(PlacementError):
+            hot_pair_coverage(layout, QueryTrace(9, [Query((0,))]))
+
+    def test_replication_raises_coverage(self, criteo_small):
+        from repro import MaxEmbedConfig, ShpConfig
+        from repro.core import build_offline_layout
+
+        history, live = criteo_small
+        base = build_offline_layout(
+            history,
+            MaxEmbedConfig(
+                strategy="none", shp=ShpConfig(max_iterations=6, seed=0)
+            ),
+        )
+        replicated = build_offline_layout(
+            history,
+            MaxEmbedConfig(
+                replication_ratio=0.4,
+                shp=ShpConfig(max_iterations=6, seed=0),
+            ),
+        )
+        assert hot_pair_coverage(replicated, live) >= hot_pair_coverage(
+            base, live
+        )

@@ -1,0 +1,96 @@
+"""Tests for repro.serving.batch: cross-query deduplicated serving."""
+
+import pytest
+
+from repro import EngineConfig, PageLayout, Query, ServingEngine, ServingError
+from repro.serving import BatchServer, batching_summary
+
+
+@pytest.fixture
+def engine():
+    layout = PageLayout(
+        num_keys=8,
+        capacity=4,
+        pages=[(0, 1, 2, 3), (4, 5, 6, 7), (0, 4)],
+        num_base_pages=2,
+    )
+    return ServingEngine(layout, EngineConfig(cache_ratio=0.0))
+
+
+class TestBatchServer:
+    def test_dedup_counts(self, engine):
+        server = BatchServer(engine)
+        result = server.serve_batch(
+            [Query((0, 1)), Query((1, 2)), Query((0, 2))]
+        )
+        assert result.num_queries == 3
+        assert result.distinct_keys == 3  # {0, 1, 2}
+        assert result.duplicate_keys == 3
+        assert result.dedup_ratio() == pytest.approx(0.5)
+
+    def test_single_read_serves_shared_page(self, engine):
+        server = BatchServer(engine)
+        result = server.serve_batch([Query((0, 1)), Query((2, 3))])
+        assert result.pages_read == 1  # both queries live on page 0
+
+    def test_batching_reads_fewer_pages_than_individual(self, engine):
+        queries = [Query((0, 1)), Query((2, 3)), Query((0, 3))]
+        batched = BatchServer(engine).serve_batch(queries)
+        # Individually (no cache) this would read page 0 three times.
+        assert batched.pages_read == 1
+
+    def test_per_query_keys_preserved(self, engine):
+        server = BatchServer(engine)
+        result = server.serve_batch([Query((5, 5, 6)), Query((7,))])
+        assert result.per_query_keys == ((5, 6), (7,))
+
+    def test_rejects_empty_batch(self, engine):
+        with pytest.raises(ServingError):
+            BatchServer(engine).serve_batch([])
+
+    def test_serve_stream_chunks(self, engine):
+        server = BatchServer(engine)
+        queries = [Query((k,)) for k in range(8)]
+        results = server.serve_stream(queries, batch_size=3)
+        assert [r.num_queries for r in results] == [3, 3, 2]
+        # Batches run back-to-back in simulated time.
+        assert results[1].start_us == results[0].finish_us
+
+    def test_serve_stream_rejects_bad_batch_size(self, engine):
+        with pytest.raises(ServingError):
+            BatchServer(engine).serve_stream([Query((0,))], batch_size=0)
+
+
+class TestBatchingSummary:
+    def test_summary_fields(self, engine):
+        server = BatchServer(engine)
+        queries = [Query((0, 1)), Query((0, 2)), Query((4, 5)), Query((4,))]
+        results = server.serve_stream(queries, batch_size=2)
+        summary = batching_summary(results)
+        assert summary["batches"] == 2
+        assert summary["queries"] == 4
+        assert summary["duplicate_keys_removed"] == 2
+        assert 0 < summary["dedup_ratio"] < 1
+        assert summary["throughput_qps"] > 0
+
+    def test_summary_rejects_empty(self):
+        with pytest.raises(ServingError):
+            batching_summary([])
+
+    def test_batching_beats_unbatched_on_real_trace(
+        self, maxembed_layout_small, criteo_small
+    ):
+        _, live = criteo_small
+        queries = list(live)[:120]
+        unbatched_engine = ServingEngine(
+            maxembed_layout_small, EngineConfig(cache_ratio=0.0, threads=1)
+        )
+        unbatched = unbatched_engine.serve_trace(queries)
+        batched_engine = ServingEngine(
+            maxembed_layout_small, EngineConfig(cache_ratio=0.0, threads=1)
+        )
+        results = BatchServer(batched_engine).serve_stream(
+            queries, batch_size=8
+        )
+        summary = batching_summary(results)
+        assert summary["pages_read"] < unbatched.total_pages_read

@@ -1,0 +1,119 @@
+"""Tests for repro.ssd.tracing: the transparent I/O trace wrapper."""
+
+import pytest
+
+from repro import P5800X, Query, SimulatedSsd, StorageError
+from repro.ssd import TracingDevice
+from repro.ssd.tracing import IoRecord
+
+
+@pytest.fixture
+def traced():
+    return TracingDevice(SimulatedSsd(P5800X))
+
+
+class TestPassThrough:
+    def test_submit_and_poll(self, traced):
+        completion = traced.submit_read(3, 0.0)
+        assert completion.page_id == 3
+        assert traced.inflight == 1
+        done = traced.poll(completion.completed_at_us)
+        assert [c.page_id for c in done] == [3]
+        assert traced.inflight == 0
+
+    def test_stats_delegate(self, traced):
+        traced.submit_read(0, 0.0)
+        assert traced.stats.reads == 1
+        traced.reset_stats()
+        assert traced.stats.reads == 0
+
+    def test_drain_and_next_completion(self, traced):
+        assert traced.next_completion_time() is None
+        c = traced.submit_read(1, 0.0)
+        assert traced.next_completion_time() == pytest.approx(
+            c.completed_at_us
+        )
+        assert traced.drain() == pytest.approx(c.completed_at_us)
+
+    def test_engine_integration(self, shp_layout_small):
+        from repro import EngineConfig, ServingEngine
+
+        engine = ServingEngine(
+            shp_layout_small, EngineConfig(cache_ratio=0.0)
+        )
+        engine.device = TracingDevice(engine.device)
+        engine.serve_query(Query((0, 1, 2)))
+        assert len(engine.device.records) >= 1
+
+
+class TestRecording:
+    def test_records_capture_timing(self, traced):
+        traced.submit_read(7, 100.0)
+        record = traced.records[0]
+        assert record.page_id == 7
+        assert record.submitted_at_us == 100.0
+        assert record.latency_us >= P5800X.read_latency_us
+
+    def test_max_records_cap(self):
+        traced = TracingDevice(SimulatedSsd(P5800X), max_records=2)
+        for page in range(5):
+            traced.submit_read(page, float(page))
+        assert len(traced.records) == 2
+        assert traced.dropped == 3
+
+    def test_rejects_bad_cap(self):
+        with pytest.raises(StorageError):
+            TracingDevice(SimulatedSsd(P5800X), max_records=0)
+
+
+class TestAnalysis:
+    def fill(self, traced, pattern):
+        t = 0.0
+        for page in pattern:
+            traced.submit_read(page, t)
+            t += 1.0
+
+    def test_page_access_counts(self, traced):
+        self.fill(traced, [0, 0, 0, 1, 2])
+        counts = traced.page_access_counts()
+        assert counts[0] == 3
+        assert counts[2] == 1
+
+    def test_hot_page_share(self, traced):
+        self.fill(traced, [0] * 8 + [1, 2])
+        # Hottest 34% of 3 touched pages = 1 page = 8/10 reads.
+        assert traced.hot_page_share(0.34) == pytest.approx(0.8)
+
+    def test_hot_page_share_empty(self, traced):
+        assert traced.hot_page_share(0.5) == 0.0
+
+    def test_hot_page_share_rejects_bad_fraction(self, traced):
+        with pytest.raises(StorageError):
+            traced.hot_page_share(0.0)
+
+    def test_latency_percentiles(self, traced):
+        self.fill(traced, range(4))
+        pct = traced.latency_percentiles((50.0,))
+        assert pct[50.0] >= P5800X.read_latency_us
+
+    def test_latency_percentiles_empty(self, traced):
+        assert traced.latency_percentiles((99.0,)) == {99.0: 0.0}
+
+    def test_queue_depth_timeline(self, traced):
+        # Submit 4 reads at once: the first bucket must see depth 4.
+        for page in range(4):
+            traced.submit_read(page, 0.0)
+        timeline = traced.queue_depth_timeline(bucket_us=100.0)
+        assert timeline[0][1] == 4
+
+    def test_queue_depth_timeline_empty(self, traced):
+        assert traced.queue_depth_timeline() == []
+
+    def test_queue_depth_rejects_bad_bucket(self, traced):
+        traced.submit_read(0, 0.0)
+        with pytest.raises(StorageError):
+            traced.queue_depth_timeline(bucket_us=0.0)
+
+    def test_io_record_latency(self):
+        record = IoRecord(page_id=1, submitted_at_us=2.0, completed_at_us=9.0)
+        assert record.latency_us == pytest.approx(7.0)

@@ -1,0 +1,76 @@
+"""Tests for repro.partition.streaming: one-pass bootstrap placement."""
+
+import pytest
+
+from repro import PartitionError, RandomPartitioner
+from repro.hypergraph import Hypergraph
+from repro.partition import (
+    ShpConfig,
+    ShpPartitioner,
+    StreamingPartitioner,
+    fanout_objective,
+)
+
+
+class TestStreamingPartitioner:
+    def test_valid_and_capacity_bounded(self, small_graph):
+        result = StreamingPartitioner().partition(small_graph, 16)
+        assert len(result.assignment) == small_graph.num_vertices
+        assert max(result.cluster_sizes()) <= 16
+
+    def test_co_edge_vertices_placed_together(self):
+        g = Hypergraph(8, [(0, 1, 2, 3), (4, 5, 6, 7)])
+        result = StreamingPartitioner().partition(g, 4)
+        assert len({result.assignment[v] for v in (0, 1, 2, 3)}) == 1
+        assert len({result.assignment[v] for v in (4, 5, 6, 7)}) == 1
+
+    def test_beats_random(self, small_graph):
+        streaming = StreamingPartitioner().partition(small_graph, 16)
+        random_result = RandomPartitioner(seed=0).partition(small_graph, 16)
+        assert fanout_objective(
+            small_graph, streaming.assignment
+        ) < fanout_objective(small_graph, random_result.assignment)
+
+    def test_below_offline_quality(self, small_graph):
+        # Streaming is the bootstrap, not the destination.
+        streaming = StreamingPartitioner().partition(small_graph, 16)
+        shp = ShpPartitioner(ShpConfig(seed=0)).partition(small_graph, 16)
+        assert fanout_objective(
+            small_graph, shp.assignment
+        ) <= fanout_objective(small_graph, streaming.assignment)
+
+    def test_isolated_vertices_fill_slots(self):
+        g = Hypergraph(6, [(0, 1)])
+        result = StreamingPartitioner().partition(g, 2)
+        assert all(c >= 0 for c in result.assignment)
+        assert max(result.cluster_sizes()) <= 2
+
+    def test_deterministic(self, small_graph):
+        a = StreamingPartitioner().partition(small_graph, 16)
+        b = StreamingPartitioner().partition(small_graph, 16)
+        assert a.assignment == b.assignment
+
+    def test_balance_weight_spreads_load(self):
+        # A chain of overlapping edges: with zero balance pressure,
+        # affinity packs one cluster solid before opening the next.
+        edges = [(i, i + 1) for i in range(15)]
+        g = Hypergraph(16, edges)
+        greedy = StreamingPartitioner(balance_weight=0.0).partition(g, 8)
+        spread = StreamingPartitioner(balance_weight=4.0).partition(g, 8)
+        assert max(greedy.cluster_sizes()) >= max(spread.cluster_sizes())
+
+    def test_rejects_negative_balance_weight(self):
+        with pytest.raises(PartitionError):
+            StreamingPartitioner(balance_weight=-1.0)
+
+    def test_single_cluster(self):
+        g = Hypergraph(3, [(0, 1, 2)])
+        result = StreamingPartitioner().partition(g, 4)
+        assert result.num_clusters == 1
+
+    def test_finer_cluster_request(self, small_graph):
+        finer = small_graph.num_vertices // 16 + 5
+        result = StreamingPartitioner().partition(
+            small_graph, 16, num_clusters=finer
+        )
+        assert result.num_clusters == finer

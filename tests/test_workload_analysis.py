@@ -1,0 +1,136 @@
+"""Tests for repro.workloads.analysis."""
+
+import numpy as np
+import pytest
+
+from repro import Query, QueryTrace, WorkloadError, make_trace
+from repro.workloads.analysis import (
+    access_counts,
+    coappearance_breadth,
+    cooccurrence_overlap,
+    gini_coefficient,
+    popularity_overlap,
+    summarize,
+    top_share,
+    working_set_curve,
+)
+
+
+@pytest.fixture
+def skewed_trace():
+    """Key 0 is in every query; keys 1..9 appear once each."""
+    queries = [Query((0, k)) for k in range(1, 10)]
+    return QueryTrace(10, queries)
+
+
+@pytest.fixture
+def uniform_trace():
+    return QueryTrace(10, [Query((k,)) for k in range(10)])
+
+
+class TestCounts:
+    def test_access_counts(self, skewed_trace):
+        counts = access_counts(skewed_trace)
+        assert counts[0] == 9
+        assert counts[5] == 1
+        assert counts.sum() == 18
+
+    def test_duplicates_counted_raw(self):
+        trace = QueryTrace(4, [Query((1, 1, 2))])
+        counts = access_counts(trace)
+        assert counts[1] == 2
+
+
+class TestSkewMetrics:
+    def test_top_share_skewed(self, skewed_trace):
+        # Hottest 10% (1 key) = key 0 with 9 of 18 accesses.
+        assert top_share(skewed_trace, 0.1) == pytest.approx(0.5)
+
+    def test_top_share_uniform(self, uniform_trace):
+        assert top_share(uniform_trace, 0.5) == pytest.approx(0.5)
+
+    def test_top_share_rejects_bad_fraction(self, uniform_trace):
+        with pytest.raises(WorkloadError):
+            top_share(uniform_trace, 0.0)
+
+    def test_gini_uniform_is_zero(self, uniform_trace):
+        assert gini_coefficient(uniform_trace) == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_skewed_positive(self, skewed_trace):
+        assert gini_coefficient(skewed_trace) > 0.3
+
+    def test_gini_empty(self):
+        assert gini_coefficient(QueryTrace(4)) == 0.0
+
+
+class TestWorkingSet:
+    def test_curve_monotone_and_complete(self, skewed_trace):
+        curve = working_set_curve(skewed_trace, points=3)
+        sizes = [s for _, s in curve]
+        assert sizes == sorted(sizes)
+        assert curve[-1] == (9, 10)
+
+    def test_curve_empty_trace(self):
+        assert working_set_curve(QueryTrace(4)) == []
+
+    def test_curve_rejects_bad_points(self, skewed_trace):
+        with pytest.raises(WorkloadError):
+            working_set_curve(skewed_trace, points=0)
+
+
+class TestBreadth:
+    def test_breadth_report_fields(self):
+        trace, _ = make_trace("criteo", scale="small", seed=1)
+        report = coappearance_breadth(trace, page_capacity=16)
+        assert report.page_capacity == 16
+        assert report.hot_mean_breadth >= report.mean_breadth
+        assert 0.0 <= report.fraction_exceeding_capacity <= 1.0
+
+    def test_motivation_holds_on_presets(self):
+        # The paper's premise: hot keys co-appear beyond a page.
+        trace, _ = make_trace("criteo", scale="small", seed=1)
+        report = coappearance_breadth(trace, page_capacity=16)
+        assert report.replication_headroom()
+
+    def test_rejects_bad_capacity(self, skewed_trace):
+        with pytest.raises(WorkloadError):
+            coappearance_breadth(skewed_trace, page_capacity=0)
+
+
+class TestDriftMetrics:
+    def test_identical_windows_overlap_fully(self):
+        trace, _ = make_trace("criteo", scale="small", seed=1)
+        assert popularity_overlap(trace, trace) == pytest.approx(1.0)
+        assert cooccurrence_overlap(trace, trace) == pytest.approx(1.0)
+
+    def test_different_seeds_drift(self):
+        a, _ = make_trace("criteo", scale="small", seed=1)
+        b, _ = make_trace("criteo", scale="small", seed=99)
+        assert popularity_overlap(a, b) < 1.0
+        assert cooccurrence_overlap(a, b) < 0.8
+
+    def test_same_workload_windows_are_stable(self):
+        trace, _ = make_trace("criteo", scale="small", seed=1)
+        first, second = trace.split(0.5)
+        # Two windows of the same stationary workload stay correlated.
+        assert popularity_overlap(first, second) > popularity_overlap(
+            first, make_trace("criteo", scale="small", seed=99)[0]
+        )
+
+    def test_mismatched_key_spaces_rejected(self):
+        a = QueryTrace(4, [Query((0,))])
+        b = QueryTrace(5, [Query((0,))])
+        with pytest.raises(WorkloadError):
+            popularity_overlap(a, b)
+        with pytest.raises(WorkloadError):
+            cooccurrence_overlap(a, b)
+
+
+class TestSummary:
+    def test_summarize_keys(self):
+        trace, _ = make_trace("amazon_m2", scale="small", seed=2)
+        summary = summarize(trace)
+        assert summary["num_keys"] == trace.num_keys
+        assert summary["num_queries"] == len(trace)
+        assert 0 < summary["gini"] < 1
+        assert summary["hot_coappearance_breadth"] > 0

@@ -1,0 +1,228 @@
+"""Tests for repro.workloads: generator statistics, presets, trace I/O."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DATASETS,
+    Query,
+    QueryTrace,
+    SyntheticTraceGenerator,
+    WorkloadError,
+    WorkloadSpec,
+    get_preset,
+    load_trace,
+    make_trace,
+    save_trace,
+)
+from repro.hypergraph import build_hypergraph
+from repro.hypergraph.stats import hot_vertex_neighbour_breadth
+
+
+class TestWorkloadSpec:
+    def test_defaults_resolve_groups(self):
+        spec = WorkloadSpec(num_keys=480, num_queries=10, mean_query_len=5)
+        assert spec.resolved_num_groups() == 480 // 24
+
+    def test_explicit_groups_win(self):
+        spec = WorkloadSpec(
+            num_keys=480, num_queries=10, mean_query_len=5, num_groups=7
+        )
+        assert spec.resolved_num_groups() == 7
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_keys": 0, "num_queries": 1, "mean_query_len": 2},
+            {"num_keys": 10, "num_queries": 0, "mean_query_len": 2},
+            {"num_keys": 10, "num_queries": 1, "mean_query_len": 0.5},
+            {
+                "num_keys": 10,
+                "num_queries": 1,
+                "mean_query_len": 2,
+                "group_size": 1,
+            },
+            {
+                "num_keys": 10,
+                "num_queries": 1,
+                "mean_query_len": 2,
+                "noise_fraction": 1.5,
+            },
+            {
+                "num_keys": 10,
+                "num_queries": 1,
+                "mean_query_len": 2,
+                "second_group_prob": -0.1,
+            },
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(**kwargs)
+
+
+class TestGenerator:
+    def spec(self, **overrides):
+        base = dict(
+            num_keys=500,
+            num_queries=300,
+            mean_query_len=12.0,
+            item_alpha=1.0,
+            group_size=20,
+        )
+        base.update(overrides)
+        return WorkloadSpec(**base)
+
+    def test_trace_shape(self):
+        trace = SyntheticTraceGenerator(self.spec(), seed=0).generate()
+        assert len(trace) == 300
+        assert trace.num_keys == 500
+        for query in trace:
+            assert all(0 <= k < 500 for k in query.keys)
+            assert len(set(query.keys)) == len(query.keys)  # deduped
+
+    def test_mean_length_close_to_target(self):
+        trace = SyntheticTraceGenerator(self.spec(), seed=1).generate()
+        # Dedup trims a little; allow a generous band.
+        assert 7.0 <= trace.mean_query_length() <= 14.0
+
+    def test_deterministic_under_seed(self):
+        a = SyntheticTraceGenerator(self.spec(), seed=5).generate()
+        b = SyntheticTraceGenerator(self.spec(), seed=5).generate()
+        assert [q.keys for q in a] == [q.keys for q in b]
+
+    def test_seeds_differ(self):
+        a = SyntheticTraceGenerator(self.spec(), seed=1).generate()
+        b = SyntheticTraceGenerator(self.spec(), seed=2).generate()
+        assert [q.keys for q in a] != [q.keys for q in b]
+
+    def test_popularity_skew(self):
+        trace = SyntheticTraceGenerator(self.spec(), seed=0).generate()
+        counts = np.zeros(500)
+        for query in trace:
+            for key in query.keys:
+                counts[key] += 1
+        top_share = np.sort(counts)[::-1][:50].sum() / counts.sum()
+        # Top 10% of items should draw well over 10% of accesses.
+        assert top_share > 0.3
+
+    def test_no_id_locality(self):
+        # Popular ids must be scattered: the mean id of hot items should
+        # be near the middle of the id space, not near 0.
+        trace = SyntheticTraceGenerator(self.spec(), seed=0).generate()
+        counts = np.zeros(500)
+        for query in trace:
+            for key in query.keys:
+                counts[key] += 1
+        hot = np.argsort(counts)[::-1][:25]
+        assert 100 < hot.mean() < 400
+
+    def test_co_appearance_breadth_motivation(self):
+        # The paper's §3 motivation must hold in generated traces: hot
+        # vertices co-appear with more partners than one page holds.
+        trace = SyntheticTraceGenerator(self.spec(), seed=0).generate()
+        graph = build_hypergraph(trace)
+        assert hot_vertex_neighbour_breadth(graph, 0.05) > 16
+
+    def test_groups_exposed(self):
+        generator = SyntheticTraceGenerator(self.spec(), seed=0)
+        groups = generator.groups()
+        assert len(groups) == self.spec().resolved_num_groups()
+        for group in groups:
+            assert len(group) >= 2
+
+    def test_all_noise_still_valid(self):
+        spec = self.spec(noise_fraction=1.0)
+        trace = SyntheticTraceGenerator(spec, seed=0).generate()
+        assert len(trace) == 300
+
+
+class TestPresets:
+    def test_all_five_datasets_present(self):
+        assert set(DATASETS) == {
+            "amazon_m2",
+            "alibaba_ifashion",
+            "avazu",
+            "criteo",
+            "criteo_tb",
+        }
+
+    def test_get_preset_unknown(self):
+        with pytest.raises(WorkloadError):
+            get_preset("netflix")
+
+    def test_scales(self):
+        preset = get_preset("criteo")
+        assert preset.spec("bench").num_keys > preset.spec("small").num_keys
+        with pytest.raises(WorkloadError):
+            preset.spec("huge")
+
+    def test_query_length_ratios_match_table3(self):
+        # Mean query length ordering from the paper's Table 3:
+        # amazon (5.24) < avazu (21) < criteo (26) < iFashion (53.6).
+        lengths = {
+            name: DATASETS[name].bench.mean_query_len
+            for name in DATASETS
+        }
+        assert lengths["amazon_m2"] < lengths["avazu"]
+        assert lengths["avazu"] < lengths["criteo"]
+        assert lengths["criteo"] < lengths["alibaba_ifashion"]
+
+    def test_flavours(self):
+        assert get_preset("amazon_m2").flavour == "shopping"
+        assert get_preset("criteo").flavour == "advertising"
+        # Advertising datasets carry more noise than shopping ones.
+        assert (
+            get_preset("criteo").bench.noise_fraction
+            > get_preset("alibaba_ifashion").bench.noise_fraction
+        )
+
+    def test_make_trace(self):
+        trace, preset = make_trace("amazon_m2", scale="small", seed=1)
+        assert preset.name == "amazon_m2"
+        assert trace.num_keys == preset.spec("small").num_keys
+        assert len(trace) == preset.spec("small").num_queries
+
+    def test_criteo_tb_is_coldest(self):
+        # CriteoTB has the weakest group skew (paper §8.3: "combination
+        # relationships are colder").
+        assert get_preset("criteo_tb").bench.group_alpha == min(
+            p.bench.group_alpha for p in DATASETS.values()
+        )
+
+
+class TestTraceIo:
+    def test_round_trip(self, tmp_path, tiny_trace):
+        path = tmp_path / "trace.txt"
+        save_trace(tiny_trace, path)
+        loaded = load_trace(path)
+        assert loaded.num_keys == tiny_trace.num_keys
+        assert [q.keys for q in loaded] == [q.keys for q in tiny_trace]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            load_trace(tmp_path / "absent.txt")
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(WorkloadError, match="header"):
+            load_trace(path)
+
+    def test_malformed_header(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("#keys abc\n1 2\n")
+        with pytest.raises(WorkloadError):
+            load_trace(path)
+
+    def test_non_integer_key(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("#keys 5\n1 x\n")
+        with pytest.raises(WorkloadError, match="non-integer"):
+            load_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("#keys 5\n1 2\n\n3\n")
+        loaded = load_trace(path)
+        assert len(loaded) == 2
