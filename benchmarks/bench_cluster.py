@@ -1,0 +1,44 @@
+"""Cluster scaling bench: aggregate throughput vs shard count per planner."""
+
+from collections import defaultdict
+
+from conftest import publish
+
+from repro.experiments import fig_cluster_scaling
+
+
+def test_cluster_scaling(benchmark, scale, max_queries):
+    result = benchmark.pedantic(
+        fig_cluster_scaling.run,
+        kwargs=dict(scale=scale, max_queries=max_queries),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+    by_strategy = defaultdict(list)
+    for strategy, shards, qps, *_ in result.rows:
+        by_strategy[strategy].append((shards, qps))
+    assert len(by_strategy) == 3
+    for strategy, points in by_strategy.items():
+        points.sort()
+        qps = [q for _, q in points]
+        # Aggregate SSD bandwidth grows with every added device, so
+        # throughput must rise monotonically with the shard count.
+        assert all(b > a for a, b in zip(qps, qps[1:])), (
+            f"{strategy}: throughput not increasing with shards: {qps}"
+        )
+        # And the largest cluster must beat one device by a clear margin.
+        assert qps[-1] > 1.5 * qps[0], (
+            f"{strategy}: {points[-1][0]} shards only reached "
+            f"{qps[-1] / qps[0]:.2f}x of 1 shard"
+        )
+    # Per-shard load imbalance is reported for every strategy and stays
+    # finite; the frequency packer should never be the most imbalanced.
+    imbalance = {
+        strategy: max(
+            row[5] for row in result.rows if row[0] == strategy
+        )
+        for strategy in by_strategy
+    }
+    assert all(v >= 1.0 for v in imbalance.values())
+    assert imbalance["frequency"] <= max(imbalance.values())

@@ -19,6 +19,17 @@ Quickstart::
     print(report.throughput_qps(), report.effective_bandwidth_fraction())
 """
 
+from .cluster import (
+    SHARD_STRATEGIES,
+    ClusterEngine,
+    ClusterReport,
+    ShardPlan,
+    ShardedLayout,
+    build_sharded_layout,
+    load_sharded_layout,
+    make_planner,
+    save_sharded_layout,
+)
 from .core import MaxEmbedConfig, MaxEmbedStore, build_offline_layout
 from .errors import (
     CacheError,
@@ -81,6 +92,16 @@ __all__ = [
     "MaxEmbedStore",
     "MaxEmbedConfig",
     "build_offline_layout",
+    # cluster
+    "SHARD_STRATEGIES",
+    "ShardPlan",
+    "ShardedLayout",
+    "build_sharded_layout",
+    "ClusterEngine",
+    "ClusterReport",
+    "make_planner",
+    "save_sharded_layout",
+    "load_sharded_layout",
     # types
     "Query",
     "QueryTrace",

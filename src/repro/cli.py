@@ -5,8 +5,10 @@ Subcommands::
     maxembed generate  --dataset criteo --scale bench --out trace.txt
     maxembed analyze   --trace trace.txt
     maxembed build     --trace trace.txt --ratio 0.1 --out layout.json
+    maxembed build     --trace trace.txt --shards 4 --shard-strategy cooccurrence --out cluster.json
     maxembed diagnose  --layout layout.json [--trace trace.txt]
     maxembed serve     --trace trace.txt --layout layout.json
+    maxembed serve     --trace trace.txt --layout cluster.json --shards 4
     maxembed experiment fig8 [--scale small]
     maxembed experiments [--scale small]
 
@@ -55,6 +57,17 @@ def _add_build(subparsers) -> None:
     )
     p.add_argument("--dim", type=int, default=64)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=">1 builds a sharded cluster layout (one placement per shard)",
+    )
+    p.add_argument(
+        "--shard-strategy",
+        default="cooccurrence",
+        choices=["modulo", "frequency", "cooccurrence"],
+    )
     p.add_argument("--out", required=True, help="output layout file")
 
 
@@ -87,6 +100,13 @@ def _add_serve(subparsers) -> None:
         "--executor", default="pipelined", choices=["pipelined", "serial"]
     )
     p.add_argument("--threads", type=int, default=8)
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve a sharded cluster layout (inferred from the layout "
+        "file when omitted; must match its shard count when given)",
+    )
 
 
 def _add_experiments(subparsers) -> None:
@@ -153,8 +173,22 @@ def _cmd_build(args) -> int:
         spec=EmbeddingSpec(dim=args.dim),
         strategy=args.strategy,
         replication_ratio=args.ratio,
+        num_shards=args.shards,
+        shard_strategy=args.shard_strategy,
         seed=args.seed,
     )
+    if args.shards > 1:
+        from .cluster import build_sharded_layout, save_sharded_layout
+
+        sharded = build_sharded_layout(trace, config)
+        save_sharded_layout(sharded, args.out)
+        sizes = sharded.plan.shard_sizes()
+        print(
+            f"built {sharded.num_shards}-shard cluster layout "
+            f"({args.shard_strategy}): {sharded.total_pages()} pages, "
+            f"shard sizes {min(sizes)}..{max(sizes)} keys -> {args.out}"
+        )
+        return 0
     layout = build_offline_layout(trace, config)
     save_layout(layout, args.out)
     print(
@@ -178,8 +212,68 @@ def _cmd_diagnose(args) -> int:
     return 0
 
 
+def _cmd_serve_cluster(args, trace) -> int:
+    from .cluster import ClusterEngine, load_sharded_layout
+    from .serving import EngineConfig
+
+    from .errors import PlacementError
+
+    try:
+        sharded = load_sharded_layout(args.layout)
+    except PlacementError as exc:
+        print(
+            f"error: {exc}\nhint: build a cluster layout with "
+            f"`maxembed build --shards N`",
+            file=sys.stderr,
+        )
+        return 1
+    if args.shards is not None and args.shards != sharded.num_shards:
+        print(
+            f"error: --shards {args.shards} but {args.layout} holds "
+            f"{sharded.num_shards} shards",
+            file=sys.stderr,
+        )
+        return 1
+    engine = ClusterEngine(
+        sharded,
+        EngineConfig(
+            spec=EmbeddingSpec(dim=args.dim),
+            cache_ratio=args.cache_ratio,
+            cache_policy=args.cache_policy,
+            index_limit=args.index_limit,
+            selector=args.selector,
+            executor=args.executor,
+            threads=args.threads,
+        ),
+    )
+    cluster = engine.serve_trace(trace)
+    print(
+        format_mapping(
+            f"cluster serving report ({sharded.num_shards} shards, "
+            f"{sharded.plan.strategy})",
+            cluster.as_dict(),
+        )
+    )
+    print(
+        format_mapping(
+            "per-shard load (pages read)",
+            {
+                f"shard_{s}": pages
+                for s, pages in enumerate(cluster.shard_pages_read)
+            },
+        )
+    )
+    return 0
+
+
 def _cmd_serve(args) -> int:
     trace = load_trace(args.trace)
+    from .cluster import is_sharded_layout_file
+
+    if (args.shards is not None and args.shards > 1) or (
+        is_sharded_layout_file(args.layout)
+    ):
+        return _cmd_serve_cluster(args, trace)
     layout = load_layout(args.layout)
     config = MaxEmbedConfig(
         spec=EmbeddingSpec(dim=args.dim),

@@ -1,0 +1,87 @@
+"""Sharded-layout (de)serialization.
+
+The cluster offline artifact — shard plan plus one page layout per shard
+— is the hand-off between the planner/placement pass and the serving
+hosts, exactly like the single-device layout file but with the key →
+shard assignment carried alongside so the router can rebuild its
+scatter tables.  The format embeds each shard's layout in the same shape
+:func:`~repro.placement.serialize.save_layout` uses.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import PlacementError
+from ..placement import PageLayout
+from .pipeline import ShardedLayout
+from .planner import ShardPlan
+
+PathLike = Union[str, Path]
+
+_FIELDS = ("num_shards", "strategy", "assignment", "shards")
+
+
+def save_sharded_layout(sharded: ShardedLayout, path: PathLike) -> None:
+    """Write ``sharded`` to ``path`` as JSON."""
+    document = {
+        "num_shards": sharded.num_shards,
+        "strategy": sharded.plan.strategy,
+        "assignment": list(sharded.plan.assignment),
+        "shards": [
+            {
+                "num_keys": layout.num_keys,
+                "capacity": layout.capacity,
+                "num_base_pages": layout.num_base_pages,
+                "pages": [list(p) for p in layout.pages()],
+            }
+            for layout in sharded.layouts
+        ],
+    }
+    Path(path).write_text(json.dumps(document))
+
+
+def load_sharded_layout(path: PathLike) -> ShardedLayout:
+    """Read a sharded layout previously written by :func:`save_sharded_layout`."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise PlacementError(f"cannot load sharded layout from {path}: {exc}")
+    missing = [f for f in _FIELDS if f not in document]
+    if missing:
+        raise PlacementError(
+            f"sharded layout file missing fields {missing} — was this "
+            f"written by save_sharded_layout (not save_layout)?"
+        )
+    plan = ShardPlan(
+        num_shards=document["num_shards"],
+        assignment=tuple(document["assignment"]),
+        strategy=document["strategy"],
+    )
+    layouts = []
+    for shard in document["shards"]:
+        for field in ("num_keys", "capacity", "num_base_pages", "pages"):
+            if field not in shard:
+                raise PlacementError(
+                    f"shard record missing field {field!r}"
+                )
+        layouts.append(
+            PageLayout(
+                num_keys=shard["num_keys"],
+                capacity=shard["capacity"],
+                pages=shard["pages"],
+                num_base_pages=shard["num_base_pages"],
+            )
+        )
+    return ShardedLayout(plan, tuple(layouts))
+
+
+def is_sharded_layout_file(path: PathLike) -> bool:
+    """True when ``path`` holds a sharded (multi-shard) layout document."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError):
+        return False
+    return all(f in document for f in _FIELDS)

@@ -1,0 +1,145 @@
+"""Per-shard offline pipeline: project the trace, place each shard.
+
+The cluster offline phase is the paper's offline phase, once per shard:
+the shard plan projects the historical trace onto each shard's key space
+(global keys remapped to dense local ids), and the existing
+:func:`~repro.core.build_offline_layout` runs unchanged on each
+projection — SHP partition plus selective replication, now with replica
+budgets and co-occurrence signal scoped to the shard's own device.
+
+A shard that no historical query touches still has to store its keys, so
+it falls back to a vanilla sequential layout (there is no co-occurrence
+signal to exploit, and the hypergraph builder rightly refuses an empty
+trace).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core import MaxEmbedConfig, build_offline_layout
+from ..errors import ConfigError
+from ..placement import PageLayout
+from ..types import Query, QueryTrace
+from .planner import ShardPlan, make_planner
+
+
+@dataclass(frozen=True)
+class ShardedLayout:
+    """The cluster offline artifact: one page layout per shard.
+
+    Attributes:
+        plan: key → shard assignment (with local-id remapping).
+        layouts: ``layouts[s]`` is shard ``s``'s :class:`PageLayout` over
+            its local key space.
+    """
+
+    plan: ShardPlan
+    layouts: Tuple[PageLayout, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.layouts) != self.plan.num_shards:
+            raise ConfigError(
+                f"{len(self.layouts)} layouts for "
+                f"{self.plan.num_shards} shards"
+            )
+        for shard, layout in enumerate(self.layouts):
+            expected = len(self.plan.shard_keys(shard))
+            if layout.num_keys != expected:
+                raise ConfigError(
+                    f"shard {shard} layout covers {layout.num_keys} keys, "
+                    f"plan assigns it {expected}"
+                )
+
+    @property
+    def num_shards(self) -> int:
+        """Shard count."""
+        return self.plan.num_shards
+
+    @property
+    def num_keys(self) -> int:
+        """Global key-space size."""
+        return self.plan.num_keys
+
+    def total_pages(self) -> int:
+        """Pages across every shard (base + replica)."""
+        return sum(layout.num_pages for layout in self.layouts)
+
+
+def project_trace(
+    trace: QueryTrace, plan: ShardPlan, shard: int
+) -> QueryTrace:
+    """Restrict ``trace`` to ``shard``'s keys, remapped to local ids.
+
+    Queries that touch no key of the shard are dropped; multi-shard
+    queries keep only their local fragment (this is exactly what the
+    shard's device will be asked to serve).
+    """
+    if not 0 <= shard < plan.num_shards:
+        raise ConfigError(
+            f"shard {shard} out of range [0, {plan.num_shards})"
+        )
+    queries: List[Query] = []
+    for query in trace:
+        local = [
+            plan.local_id(k)
+            for k in query.keys
+            if plan.shard_of(k) == shard
+        ]
+        if local:
+            queries.append(Query(tuple(local)))
+    return QueryTrace(len(plan.shard_keys(shard)), queries)
+
+
+def _sequential_layout(num_keys: int, capacity: int) -> PageLayout:
+    """Vanilla layout for a shard with no historical queries."""
+    pages = [
+        tuple(range(start, min(start + capacity, num_keys)))
+        for start in range(0, num_keys, capacity)
+    ]
+    return PageLayout(
+        num_keys=num_keys,
+        capacity=capacity,
+        pages=pages,
+        num_base_pages=len(pages),
+    )
+
+
+def build_sharded_layout(
+    trace: QueryTrace,
+    config: "MaxEmbedConfig | None" = None,
+    plan: "ShardPlan | None" = None,
+) -> ShardedLayout:
+    """Run the full cluster offline phase: plan shards, place each one.
+
+    Args:
+        trace: historical query log (the paper's offline input).
+        config: deployment configuration; ``config.num_shards`` and
+            ``config.shard_strategy`` drive the planner, everything else
+            configures the per-shard placement exactly as in the
+            single-device flow.
+        plan: pre-computed shard plan (overrides the config's planner) —
+            lets experiments reuse one plan across placement configs.
+    """
+    config = config or MaxEmbedConfig()
+    if plan is None:
+        planner = make_planner(
+            config.shard_strategy, seed=config.seed, shp=config.shp
+        )
+        plan = planner.plan(trace, config.num_shards)
+    elif plan.num_keys != trace.num_keys:
+        raise ConfigError(
+            f"plan covers {plan.num_keys} keys, trace has {trace.num_keys}"
+        )
+    layouts = []
+    for shard in range(plan.num_shards):
+        projected = project_trace(trace, plan, shard)
+        if len(projected):
+            layouts.append(build_offline_layout(projected, config))
+        else:
+            layouts.append(
+                _sequential_layout(projected.num_keys, config.page_capacity)
+            )
+    return ShardedLayout(plan, tuple(layouts))

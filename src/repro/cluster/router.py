@@ -1,0 +1,194 @@
+"""Scatter-gather router: one serving engine per shard, shared clock.
+
+:class:`ClusterEngine` is the cluster-scale counterpart of
+:class:`~repro.serving.engine.ServingEngine`.  Each shard runs a full
+engine of its own — DRAM cache, page selector, executor, and an
+*independent* simulated device, so aggregate SSD bandwidth scales with
+the shard count.  A query is **scattered**: its keys are split by the
+shard plan, each fragment (remapped to shard-local ids) is served by its
+shard engine starting at the query's dispatch time, and the results are
+**gathered** — the query completes when its slowest shard does.
+
+The trace loop is the same closed-loop client model as the single
+engine: ``threads`` simulated workers, each serving one query at a time,
+dispatching in trace order to the earliest-free worker.  All shard
+devices advance on the shared simulated clock, so cross-query contention
+on a hot shard emerges naturally — that is precisely the imbalance the
+:class:`~repro.cluster.stats.ClusterReport` measures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ServingError
+from ..placement import PageLayout
+from ..serving import EngineConfig, ServingEngine
+from ..serving.stats import (
+    QueryResult,
+    aggregate_results,
+    merge_shard_results,
+)
+from ..types import Query, QueryTrace
+from .pipeline import ShardedLayout
+from .stats import ClusterReport
+
+
+class ClusterEngine:
+    """Scatter-gather serving over per-shard engines and devices."""
+
+    def __init__(
+        self, sharded: ShardedLayout, config: "EngineConfig | None" = None
+    ) -> None:
+        self.sharded = sharded
+        self.plan = sharded.plan
+        self.config = config or EngineConfig()
+        self.engines: List[ServingEngine] = [
+            ServingEngine(layout, self.config)
+            for layout in sharded.layouts
+        ]
+
+    @property
+    def num_shards(self) -> int:
+        """Shard count."""
+        return self.plan.num_shards
+
+    # -- layout management -----------------------------------------------------
+
+    def swap_shard(
+        self, shard: int, layout: PageLayout, keep_cache: bool = True
+    ) -> ServingEngine:
+        """Atomically replace one shard's engine with a new layout.
+
+        The other shards keep serving untouched — this is the cluster
+        version of :meth:`~repro.core.deploy.LayoutManager.swap`, applied
+        shard by shard so a rolling re-deploy never takes the whole
+        cluster offline.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ServingError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+        expected = len(self.plan.shard_keys(shard))
+        if layout.num_keys != expected:
+            raise ServingError(
+                f"new layout covers {layout.num_keys} keys, shard {shard} "
+                f"owns {expected}"
+            )
+        old_cache = self.engines[shard].cache
+        self.engines[shard] = ServingEngine(layout, self.config)
+        if keep_cache:
+            self.engines[shard].cache = old_cache
+        return self.engines[shard]
+
+    # -- scatter / gather -------------------------------------------------------
+
+    def scatter(self, query: Query) -> Dict[int, Query]:
+        """Split a global query into shard-local fragments."""
+        fragments: Dict[int, List[int]] = {}
+        for key in query.keys:
+            fragments.setdefault(self.plan.shard_of(key), []).append(
+                self.plan.local_id(key)
+            )
+        return {
+            shard: Query(tuple(keys))
+            for shard, keys in fragments.items()
+        }
+
+    def _serve_scattered(
+        self, query: Query, start_us: float
+    ) -> Tuple[QueryResult, Dict[int, QueryResult]]:
+        """Serve one query; return (gathered result, per-shard results)."""
+        fragments = self.scatter(query)
+        sub_results = {
+            shard: self.engines[shard].serve_query(fragment, start_us)
+            for shard, fragment in sorted(fragments.items())
+        }
+        return merge_shard_results(list(sub_results.values())), sub_results
+
+    def serve_query(self, query: Query, start_us: float = 0.0) -> QueryResult:
+        """Serve one query across its shards; finish at the slowest one."""
+        merged, _ = self._serve_scattered(query, start_us)
+        return merged
+
+    # -- whole trace ------------------------------------------------------------
+
+    def serve_trace(
+        self,
+        trace: "QueryTrace | List[Query]",
+        warmup_queries: int = 0,
+    ) -> ClusterReport:
+        """Closed-loop simulation of the trace over ``threads`` workers.
+
+        Same client model as the single engine's ``serve_trace``; the
+        returned :class:`ClusterReport` adds per-shard load counters and
+        straggler metrics on top of the merged serving report.
+        """
+        queries = list(trace)
+        if not queries:
+            raise ServingError("cannot serve an empty trace")
+        if warmup_queries >= len(queries):
+            raise ServingError(
+                f"warmup ({warmup_queries}) must leave at least one "
+                f"measured query ({len(queries)} total)"
+            )
+        workers = [(0.0, t) for t in range(self.config.threads)]
+        heapq.heapify(workers)
+        results: List[QueryResult] = []
+        shard_queries = [0] * self.num_shards
+        shard_pages = [0] * self.num_shards
+        shard_ssd_keys = [0] * self.num_shards
+        shard_cache_hits = [0] * self.num_shards
+        fanouts: List[int] = []
+        max_shard_latency: List[float] = []
+        straggler: List[float] = []
+        for index, query in enumerate(queries):
+            ready, thread = heapq.heappop(workers)
+            merged, subs = self._serve_scattered(query, start_us=ready)
+            heapq.heappush(workers, (merged.finish_us, thread))
+            if index < warmup_queries:
+                continue
+            results.append(merged)
+            latencies = []
+            for shard, sub in subs.items():
+                shard_queries[shard] += 1
+                shard_pages[shard] += sub.pages_read
+                shard_ssd_keys[shard] += sub.ssd_keys
+                shard_cache_hits[shard] += sub.cache_hits
+                latencies.append(sub.latency_us)
+            fanouts.append(len(subs))
+            slowest = max(latencies)
+            max_shard_latency.append(slowest)
+            straggler.append(slowest - sum(latencies) / len(latencies))
+        report = aggregate_results(
+            results,
+            page_size=self.config.spec.page_size,
+            embedding_bytes=self.config.spec.embedding_bytes,
+        )
+        return ClusterReport(
+            report=report,
+            num_shards=self.num_shards,
+            strategy=self.plan.strategy,
+            shard_queries=shard_queries,
+            shard_pages_read=shard_pages,
+            shard_ssd_keys=shard_ssd_keys,
+            shard_cache_hits=shard_cache_hits,
+            fanouts=fanouts,
+            max_shard_latency_us=max_shard_latency,
+            straggler_us=straggler,
+        )
+
+    # -- introspection -----------------------------------------------------------
+
+    def memory_overhead_entries(self) -> int:
+        """DRAM index entries summed over every shard engine."""
+        return sum(e.memory_overhead_entries() for e in self.engines)
+
+    def total_pages(self) -> int:
+        """SSD pages across the cluster (base + replica)."""
+        return self.sharded.total_pages()
+
+    def shard_device_stats(self) -> List[Optional[object]]:
+        """Each shard device's :class:`~repro.ssd.device.DeviceStats`."""
+        return [engine.device.stats for engine in self.engines]

@@ -1,0 +1,124 @@
+"""Cluster-level serving metrics: shard load, imbalance, stragglers.
+
+A scatter-gather query is only as fast as its slowest shard, and a
+cluster only scales as well as its least-loaded shard allows.  The
+:class:`ClusterReport` therefore wraps the ordinary trace-level
+:class:`~repro.serving.stats.ServingReport` (computed over the *merged*
+per-query results, so every single-engine metric still applies) with the
+two families of metrics that only exist at cluster scope:
+
+* **shard load / imbalance** — per-shard routed queries, page reads and
+  SSD keys, summarized as a max-over-mean imbalance factor (1.0 is a
+  perfectly balanced cluster; RecShard reports 2–10x for naive plans);
+* **stragglers** — per-query gap between the slowest shard and the mean
+  of the shards it touched; the price of fan-out that frequency-only
+  planners pay and co-occurrence planners avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from ..serving import ServingReport
+
+
+@dataclass
+class ClusterReport:
+    """Aggregate metrics for a trace served by a sharded cluster.
+
+    Attributes:
+        report: cluster-level serving report over merged query results.
+        num_shards: shard count.
+        strategy: shard-planner name that produced the plan.
+        shard_queries: sub-queries routed to each shard.
+        shard_pages_read: SSD page reads issued by each shard.
+        shard_ssd_keys: keys each shard served from SSD.
+        shard_cache_hits: keys each shard served from DRAM.
+        fanouts: shards touched per query, in serve order.
+        max_shard_latency_us: per query, the slowest shard's latency.
+        straggler_us: per query, slowest-shard latency minus the mean
+            latency of the shards it touched (0 for single-shard queries).
+    """
+
+    report: ServingReport
+    num_shards: int
+    strategy: str = "unknown"
+    shard_queries: List[int] = field(default_factory=list)
+    shard_pages_read: List[int] = field(default_factory=list)
+    shard_ssd_keys: List[int] = field(default_factory=list)
+    shard_cache_hits: List[int] = field(default_factory=list)
+    fanouts: List[int] = field(default_factory=list)
+    max_shard_latency_us: List[float] = field(default_factory=list)
+    straggler_us: List[float] = field(default_factory=list)
+
+    # -- cluster-level convenience -------------------------------------------
+
+    def throughput_qps(self) -> float:
+        """Cluster queries per second over the simulated makespan."""
+        return self.report.throughput_qps()
+
+    def p99_latency_us(self) -> float:
+        """Cluster-level p99 query latency (gathered)."""
+        return self.report.percentile_latency_us(99)
+
+    # -- load balance ---------------------------------------------------------
+
+    def load_imbalance(self) -> float:
+        """Max-over-mean of per-shard SSD page reads (1.0 = balanced).
+
+        Falls back to routed sub-query counts when nothing hit the SSD
+        (fully cache-served traces still have routing skew).
+        """
+        for loads in (self.shard_pages_read, self.shard_queries):
+            total = sum(loads)
+            if total:
+                return max(loads) / (total / len(loads))
+        return 1.0
+
+    def key_load_imbalance(self) -> float:
+        """Max-over-mean of per-shard served keys (SSD + DRAM)."""
+        loads = [
+            s + c
+            for s, c in zip(self.shard_ssd_keys, self.shard_cache_hits)
+        ]
+        total = sum(loads)
+        if not total:
+            return 1.0
+        return max(loads) / (total / len(loads))
+
+    # -- scatter-gather costs -------------------------------------------------
+
+    def mean_fanout(self) -> float:
+        """Average shards touched per query."""
+        return float(np.mean(self.fanouts)) if self.fanouts else 0.0
+
+    def mean_straggler_us(self) -> float:
+        """Average straggler gap (slowest shard minus mean shard)."""
+        return (
+            float(np.mean(self.straggler_us)) if self.straggler_us else 0.0
+        )
+
+    def p99_max_shard_latency_us(self) -> float:
+        """p99 of the slowest-shard latency — the gather critical path."""
+        if not self.max_shard_latency_us:
+            return 0.0
+        return float(np.percentile(self.max_shard_latency_us, 99))
+
+    def as_dict(self) -> Dict[str, float]:
+        """Headline metrics for tables and CLI output."""
+        return {
+            "shards": self.num_shards,
+            "strategy": self.strategy,
+            "throughput_qps": round(self.throughput_qps()),
+            "p99_latency_us": round(self.p99_latency_us(), 2),
+            "effective_bandwidth": round(
+                self.report.effective_bandwidth_fraction(), 4
+            ),
+            "cache_hit_rate": round(self.report.cache_hit_rate(), 4),
+            "load_imbalance": round(self.load_imbalance(), 3),
+            "mean_fanout": round(self.mean_fanout(), 3),
+            "mean_straggler_us": round(self.mean_straggler_us(), 2),
+        }

@@ -40,6 +40,10 @@ class MaxEmbedConfig:
             :class:`~repro.serving.EngineConfig`).
         threads: simulated serving threads.
         cost_model: selection CPU charges.
+        num_shards: >1 splits the table across that many shards, each
+            served by its own engine and device (see :mod:`repro.cluster`).
+        shard_strategy: key → shard planner: ``"modulo"``,
+            ``"frequency"``, or ``"cooccurrence"``.
         seed: base RNG seed for every stochastic component.
     """
 
@@ -57,10 +61,15 @@ class MaxEmbedConfig:
     executor: str = "pipelined"
     threads: int = 8
     cost_model: CpuCostModel = field(default_factory=CpuCostModel)
+    num_shards: int = 1
+    shard_strategy: str = "cooccurrence"
     seed: int = 0
 
     _STRATEGIES = ("maxembed", "rpp", "fpr", "none")
     _PARTITIONERS = ("shp", "multilevel", "random", "vanilla")
+    # Kept in sync with repro.cluster.planner.SHARD_STRATEGIES (the
+    # cluster package imports core, so core cannot import it back).
+    _SHARD_STRATEGIES = ("modulo", "frequency", "cooccurrence")
 
     def __post_init__(self) -> None:
         if self.strategy not in self._STRATEGIES:
@@ -76,6 +85,15 @@ class MaxEmbedConfig:
         if self.replication_ratio < 0:
             raise ConfigError(
                 f"replication_ratio must be >= 0, got {self.replication_ratio}"
+            )
+        if self.num_shards < 1:
+            raise ConfigError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.shard_strategy not in self._SHARD_STRATEGIES:
+            raise ConfigError(
+                f"unknown shard strategy {self.shard_strategy!r}; "
+                f"choose from {self._SHARD_STRATEGIES}"
             )
 
     @property

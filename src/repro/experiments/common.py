@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..cluster import ShardedLayout, build_sharded_layout
 from ..core import MaxEmbedConfig, build_offline_layout
 from ..partition import ShpConfig
 from ..placement import PageLayout
@@ -33,12 +34,14 @@ DEFAULT_RATIOS: Tuple[float, ...] = (0.1, 0.2, 0.4, 0.8)
 
 _trace_cache: Dict[tuple, Tuple[QueryTrace, QueryTrace]] = {}
 _layout_cache: Dict[tuple, PageLayout] = {}
+_sharded_cache: Dict[tuple, ShardedLayout] = {}
 
 
 def clear_caches() -> None:
     """Drop memoized traces and layouts (tests use this for isolation)."""
     _trace_cache.clear()
     _layout_cache.clear()
+    _sharded_cache.clear()
 
 
 def get_split_trace(
@@ -85,6 +88,42 @@ def layout_for(
         )
         _layout_cache[key] = build_offline_layout(history, config)
     return _layout_cache[key]
+
+
+def sharded_layout_for(
+    dataset: str,
+    num_shards: int,
+    shard_strategy: str,
+    strategy: str = "maxembed",
+    ratio: float = 0.1,
+    scale: str = "bench",
+    seed: int = 0,
+    dim: int = 64,
+) -> ShardedLayout:
+    """Build (or fetch) the cluster offline artifact for one configuration."""
+    key = (
+        dataset,
+        num_shards,
+        shard_strategy,
+        strategy,
+        round(ratio, 6),
+        scale,
+        seed,
+        dim,
+    )
+    if key not in _sharded_cache:
+        history, _ = get_split_trace(dataset, scale, seed)
+        config = MaxEmbedConfig(
+            spec=EmbeddingSpec(dim=dim),
+            strategy=strategy,
+            replication_ratio=ratio,
+            num_shards=num_shards,
+            shard_strategy=shard_strategy,
+            shp=ShpConfig(seed=seed),
+            seed=seed,
+        )
+        _sharded_cache[key] = build_sharded_layout(history, config)
+    return _sharded_cache[key]
 
 
 def make_engine(

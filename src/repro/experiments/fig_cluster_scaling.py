@@ -1,0 +1,97 @@
+"""Cluster scaling — throughput and tail latency vs shard count.
+
+Not a figure of the paper: MaxEmbed serves one device.  This extension
+measures what the ROADMAP's sharding direction buys — each shard is a
+full MaxEmbed stack (SHP + selective replication + one-pass selection)
+on its own simulated device, and a scatter-gather router splits every
+query across shards.  For each planner strategy the sweep reports
+aggregate throughput (expected ~linear in shard count: aggregate SSD
+bandwidth grows with every device), p99 gathered latency (expected to
+*fall* — per-shard queues are shorter), per-shard load imbalance, mean
+scatter fan-out, and the mean straggler gap.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..cluster import SHARD_STRATEGIES, ClusterEngine
+from ..serving import EngineConfig
+from ..types import EmbeddingSpec
+from .common import get_split_trace, sharded_layout_for
+from .report import ExperimentResult
+
+
+def run(
+    dataset: str = "criteo",
+    shard_counts: Sequence[int] = (1, 2, 4),
+    strategies: Sequence[str] = SHARD_STRATEGIES,
+    scale: str = "bench",
+    seed: int = 0,
+    dim: int = 64,
+    ratio: float = 0.1,
+    cache_ratio: float = 0.10,
+    max_queries: Optional[int] = None,
+    warmup_fraction: float = 0.2,
+) -> ExperimentResult:
+    """Sweep shard count x planner strategy on one dataset's live half."""
+    result = ExperimentResult(
+        exp_id="cluster-scaling",
+        title=f"Cluster scaling on {dataset} (throughput / p99 vs shards)",
+        headers=[
+            "strategy",
+            "shards",
+            "qps",
+            "speedup",
+            "p99_us",
+            "imbalance",
+            "fanout",
+            "straggler_us",
+        ],
+        notes=(
+            "aggregate qps rises with shard count for every strategy; "
+            "frequency balances load best, cooccurrence keeps fan-out "
+            "and effective bandwidth best"
+        ),
+    )
+    _, live = get_split_trace(dataset, scale, seed)
+    queries = list(live)
+    if max_queries is not None:
+        queries = queries[:max_queries]
+    warmup = int(len(queries) * warmup_fraction) if cache_ratio > 0 else 0
+    warmup = min(warmup, max(0, len(queries) - 1))
+    for strategy in strategies:
+        base_qps = None
+        for shards in shard_counts:
+            sharded = sharded_layout_for(
+                dataset,
+                shards,
+                strategy,
+                ratio=ratio,
+                scale=scale,
+                seed=seed,
+                dim=dim,
+            )
+            engine = ClusterEngine(
+                sharded,
+                EngineConfig(
+                    spec=EmbeddingSpec(dim=dim), cache_ratio=cache_ratio
+                ),
+            )
+            cluster = engine.serve_trace(queries, warmup_queries=warmup)
+            qps = cluster.throughput_qps()
+            if base_qps is None:
+                base_qps = qps
+            result.rows.append(
+                [
+                    strategy,
+                    shards,
+                    round(qps),
+                    round(qps / base_qps, 3) if base_qps else 0.0,
+                    round(cluster.p99_latency_us(), 2),
+                    round(cluster.load_imbalance(), 3),
+                    round(cluster.mean_fanout(), 3),
+                    round(cluster.mean_straggler_us(), 2),
+                ]
+            )
+    return result

@@ -15,6 +15,7 @@ from . import (
     drift,
     fig03_motivation,
     fig08_effective_bandwidth,
+    fig_cluster_scaling,
     fig09_valid_embeddings,
     fig10_throughput,
     fig11_latency,
@@ -55,6 +56,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "extension-page-size": ablations.run_page_size_sensitivity,
     "extension-load-latency": ablations.run_load_latency,
     "extension-history": ablations.run_history_sensitivity,
+    "cluster-scaling": fig_cluster_scaling.run,
     "drift": drift.run,
 }
 

@@ -145,6 +145,51 @@ class ServingReport:
         return (self.sort_us + self.selection_us) / total
 
 
+def merge_shard_results(results: Sequence[QueryResult]) -> QueryResult:
+    """Gather per-shard results of one scattered query into one result.
+
+    The sub-results must share a start time (the router scatters every
+    fragment at the query's dispatch time).  Counters sum — shards own
+    disjoint key sets — and the finish time is the slowest shard's, which
+    is what the client observes.  A single sub-result is returned as-is,
+    so a 1-shard cluster reproduces the plain engine's results exactly.
+    """
+    if not results:
+        raise ServingError("cannot merge an empty result list")
+    if len(results) == 1:
+        return results[0]
+    starts = {r.start_us for r in results}
+    if len(starts) != 1:
+        raise ServingError(
+            f"scattered fragments must share a start time, got {starts}"
+        )
+    finish = max(r.finish_us for r in results)
+    executions = [r.execution for r in results if r.execution is not None]
+    merged_execution = None
+    if executions:
+        merged_execution = ExecutionResult(
+            start_us=results[0].start_us,
+            finish_us=finish,
+            sort_us=sum(e.sort_us for e in executions),
+            selection_us=sum(e.selection_us for e in executions),
+            io_wait_us=sum(e.io_wait_us for e in executions),
+            pages_read=sum(e.pages_read for e in executions),
+        )
+    valid: List[int] = []
+    for r in results:
+        valid.extend(r.valid_per_read)
+    return QueryResult(
+        requested_keys=sum(r.requested_keys for r in results),
+        cache_hits=sum(r.cache_hits for r in results),
+        ssd_keys=sum(r.ssd_keys for r in results),
+        pages_read=sum(r.pages_read for r in results),
+        valid_per_read=tuple(valid),
+        start_us=results[0].start_us,
+        finish_us=finish,
+        execution=merged_execution,
+    )
+
+
 def aggregate_results(
     results: Sequence[QueryResult],
     page_size: int,

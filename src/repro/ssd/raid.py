@@ -29,6 +29,7 @@ class Raid0Array:
         self._members: List[SimulatedSsd] = [
             SimulatedSsd(profile, page_size) for _ in range(members)
         ]
+        self._stats_cache: "DeviceStats | None" = None
 
     @property
     def members(self) -> int:
@@ -44,18 +45,23 @@ class Raid0Array:
     def queue_depth(self) -> int:
         """Aggregate submission-queue capacity across members.
 
-        Conservative: striping can still overflow one member's queue if
-        page ids all map to it; callers that need exactness should
-        backpressure per member (the executors backpressure on the
-        aggregate, which suffices for round-robin-ish access).
+        Under round-robin striping the array accepts the per-member
+        floor times the member count before any queue must overflow —
+        ``min(member depth) * members``.  Caveat: this is exact only for
+        evenly striped access; a page-id distribution skewed onto one
+        member can still overflow that member's own queue below this
+        aggregate.  Callers that need exactness should backpressure per
+        member (the executors backpressure on the aggregate, which
+        suffices for round-robin-ish access).
         """
-        return min(m.queue_depth for m in self._members)
+        return min(m.queue_depth for m in self._members) * len(self._members)
 
     def _member_for(self, page_id: int) -> SimulatedSsd:
         return self._members[page_id % len(self._members)]
 
     def submit_read(self, page_id: int, now_us: float) -> Completion:
         """Submit a read to the member owning ``page_id``'s stripe."""
+        self._stats_cache = None
         return self._member_for(page_id).submit_read(page_id, now_us)
 
     def poll(self, now_us: float) -> List[Completion]:
@@ -81,19 +87,28 @@ class Raid0Array:
 
     @property
     def stats(self) -> DeviceStats:
-        """Aggregated counters across members."""
-        total = DeviceStats()
-        for member in self._members:
-            total.reads += member.stats.reads
-            total.bytes_read += member.stats.bytes_read
-            total.total_latency_us += member.stats.total_latency_us
-            total.busy_until_us = max(
-                total.busy_until_us, member.stats.busy_until_us
-            )
-            total.latencies.extend(member.stats.latencies)
-        return total
+        """Aggregated counters across members.
+
+        Memoized until the next ``submit_read``/``reset_stats``: member
+        counters only change on submission, so repeated accesses (hot in
+        per-query reporting loops) return the same aggregate instead of
+        re-extending every member's full latency list each time.
+        """
+        if self._stats_cache is None:
+            total = DeviceStats()
+            for member in self._members:
+                total.reads += member.stats.reads
+                total.bytes_read += member.stats.bytes_read
+                total.total_latency_us += member.stats.total_latency_us
+                total.busy_until_us = max(
+                    total.busy_until_us, member.stats.busy_until_us
+                )
+                total.latencies.extend(member.stats.latencies)
+            self._stats_cache = total
+        return self._stats_cache
 
     def reset_stats(self) -> None:
         """Zero every member's counters."""
+        self._stats_cache = None
         for member in self._members:
             member.reset_stats()

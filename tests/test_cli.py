@@ -93,6 +93,116 @@ class TestCommands:
         ) == 0
         assert "0 replicas" in capsys.readouterr().out
 
+    def test_sharded_build_serve_pipeline(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.txt")
+        cluster_path = str(tmp_path / "cluster.json")
+        main(
+            [
+                "generate",
+                "--dataset",
+                "amazon_m2",
+                "--scale",
+                "small",
+                "--out",
+                trace_path,
+            ]
+        )
+        assert main(
+            [
+                "build",
+                "--trace",
+                trace_path,
+                "--shards",
+                "4",
+                "--shard-strategy",
+                "frequency",
+                "--out",
+                cluster_path,
+            ]
+        ) == 0
+        assert "4-shard cluster layout" in capsys.readouterr().out
+
+        # Explicit shard count must match the file.
+        assert main(
+            [
+                "serve",
+                "--trace",
+                trace_path,
+                "--layout",
+                cluster_path,
+                "--shards",
+                "4",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cluster serving report" in out
+        assert "load_imbalance" in out
+        assert "shard_3" in out
+
+        # Shard count is inferred from the layout file when omitted.
+        assert main(
+            ["serve", "--trace", trace_path, "--layout", cluster_path]
+        ) == 0
+        assert "cluster serving report" in capsys.readouterr().out
+
+    def test_serve_shards_mismatch_errors(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "trace.txt")
+        cluster_path = str(tmp_path / "cluster.json")
+        layout_path = str(tmp_path / "layout.json")
+        main(
+            [
+                "generate",
+                "--dataset",
+                "amazon_m2",
+                "--scale",
+                "small",
+                "--out",
+                trace_path,
+            ]
+        )
+        main(
+            [
+                "build",
+                "--trace",
+                trace_path,
+                "--shards",
+                "2",
+                "--out",
+                cluster_path,
+            ]
+        )
+        capsys.readouterr()
+        assert main(
+            [
+                "serve",
+                "--trace",
+                trace_path,
+                "--layout",
+                cluster_path,
+                "--shards",
+                "4",
+            ]
+        ) == 1
+        assert "holds 2 shards" in capsys.readouterr().err
+
+        # A plain layout cannot be served with --shards > 1.
+        main(
+            ["build", "--trace", trace_path, "--out", layout_path]
+        )
+        capsys.readouterr()
+        assert main(
+            [
+                "serve",
+                "--trace",
+                trace_path,
+                "--layout",
+                layout_path,
+                "--shards",
+                "4",
+            ]
+        ) == 1
+        assert "maxembed build --shards" in capsys.readouterr().err
+
     def test_experiment_command(self, capsys):
         assert main(["experiment", "table2"]) == 0
         assert "TCO" in capsys.readouterr().out

@@ -50,7 +50,8 @@ class TestDeviceVariants:
         )
         engine.device = TracingDevice(engine.device)
         engine.serve_query(Query((0, 4, 8)))
-        assert engine.device.queue_depth == P5800X.queue_depth
+        # RAID-0 advertises the aggregate queue across both members.
+        assert engine.device.queue_depth == 2 * P5800X.queue_depth
         assert len(engine.device.records) >= 1
 
 

@@ -221,6 +221,30 @@ class TestFig17:
         assert by_name["RAID0"][3] > by_name["P5800X"][3]
 
 
+class TestClusterScaling:
+    def test_throughput_scales_with_shards(self):
+        from repro.experiments import fig_cluster_scaling
+
+        result = fig_cluster_scaling.run(
+            dataset="criteo",
+            shard_counts=(1, 4),
+            max_queries=150,
+            **SMALL,
+        )
+        assert len(result.rows) == 6  # 3 strategies x 2 shard counts
+        for strategy in ("modulo", "frequency", "cooccurrence"):
+            rows = [r for r in result.rows if r[0] == strategy]
+            one, four = rows[0], rows[1]
+            assert four[2] > one[2], f"{strategy} did not scale"
+            assert four[5] >= 1.0  # imbalance reported
+        assert "cluster-scaling" in str(result.render())
+
+    def test_registered_in_runner(self):
+        from repro.experiments.runner import ALL_EXPERIMENTS
+
+        assert "cluster-scaling" in ALL_EXPERIMENTS
+
+
 class TestTable1:
     def test_measures_all_cells(self):
         result = table1_partition_time.run(

@@ -303,8 +303,54 @@ class TestRaid0:
         with pytest.raises(StorageError):
             Raid0Array(P5800X, members=0)
 
-    def test_queue_depth_exposed(self):
-        array = Raid0Array(P5800X, members=2)
-        assert array.queue_depth == P5800X.queue_depth
+    def test_queue_depth_aggregates_members(self):
+        # The docstring promises aggregate capacity: per-member floor
+        # times the member count (min * members under round-robin).
+        for members in (1, 2, 4):
+            array = Raid0Array(P5800X, members=members)
+            assert array.queue_depth == members * P5800X.queue_depth
         single = SimulatedSsd(P5800X)
         assert single.queue_depth == P5800X.queue_depth
+
+    def test_aggregate_queue_depth_accepted_round_robin(self):
+        # Evenly striped submissions fill the whole advertised aggregate
+        # queue without any member overflowing.
+        qd = 4
+        profile = SsdProfile("tiny-q", 10.0, 0.004096, queue_depth=qd)
+        array = Raid0Array(profile, members=2)
+        for page in range(array.queue_depth):
+            array.submit_read(page, 0.0)
+        assert array.inflight == 2 * qd
+
+    def test_skewed_stripes_overflow_one_member(self):
+        # The documented caveat: page ids all on one member overflow its
+        # own queue well below the aggregate depth.
+        qd = 4
+        profile = SsdProfile("tiny-q", 10.0, 0.004096, queue_depth=qd)
+        array = Raid0Array(profile, members=2)
+        for page in range(0, 2 * qd, 2):  # even pages -> member 0 only
+            if page // 2 < qd:
+                array.submit_read(page, 0.0)
+        with pytest.raises(StorageError):
+            array.submit_read(2 * qd, 0.0)
+
+    def test_stats_memoized_between_submits(self):
+        array = Raid0Array(P5800X, members=2)
+        for page in range(8):
+            array.submit_read(page, 0.0)
+        first = array.stats
+        # Repeated access returns the same aggregate object — no
+        # re-extending of per-member latency lists per call.
+        assert array.stats is first
+        assert len(first.latencies) == 8
+        # A new submission invalidates the memo...
+        array.submit_read(8, 0.0)
+        refreshed = array.stats
+        assert refreshed is not first
+        assert refreshed.reads == 9
+        assert len(refreshed.latencies) == 9
+        # ...and the previously returned aggregate was not mutated.
+        assert first.reads == 8
+        # reset_stats also invalidates.
+        array.reset_stats()
+        assert array.stats.reads == 0
