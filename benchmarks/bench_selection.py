@@ -1,0 +1,161 @@
+"""Selection hot-loop bench: fast selectors vs the reference oracle.
+
+Measures single-thread selection throughput on the criteo layout (the
+paper's §6.1 workload, where selection is >56 % of serving latency) and
+emits machine-readable ``benchmarks/results/selection.json``:
+
+* per-selector qps, mean/p50/p99 selection microseconds;
+* candidates examined per query (identical across paths by contract);
+* fast-vs-reference speedups (single-query and batched).
+
+The batched fast path must clear ``REPRO_BENCH_MIN_SPEEDUP`` (default
+3.0; CI smoke runs set a looser floor to tolerate noisy runners).
+
+Run standalone with ``python benchmarks/bench_selection.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import RESULTS_DIR, bench_scale
+
+from repro.experiments.common import get_split_trace, layout_for
+from repro.placement import build_indexes
+from repro.serving import FastOnePassSelector, OnePassSelector
+
+INDEX_LIMIT = 5
+REPLICATION_RATIO = 0.4
+BATCH_CHUNK = 64  # queries per timed select_many call (p50/p99 resolution)
+
+
+def min_speedup() -> float:
+    return float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "3.0"))
+
+
+def _percentile(sorted_values, fraction):
+    if not sorted_values:
+        return 0.0
+    index = min(
+        len(sorted_values) - 1, round(fraction * (len(sorted_values) - 1))
+    )
+    return sorted_values[index]
+
+
+def _stats(per_query_us, candidates, label):
+    ordered = sorted(per_query_us)
+    mean = sum(per_query_us) / len(per_query_us)
+    return {
+        "selector": label,
+        "qps": round(1e6 / mean, 1),
+        "mean_us": round(mean, 3),
+        "p50_us": round(_percentile(ordered, 0.50), 3),
+        "p99_us": round(_percentile(ordered, 0.99), 3),
+        "candidates_per_query": round(candidates / len(per_query_us), 3),
+    }
+
+
+def _time_per_query(selector, queries, rounds):
+    """Time select() per query; returns (per-query µs, total candidates)."""
+    timings = [0.0] * len(queries)
+    candidates = 0
+    for round_index in range(rounds):
+        for i, keys in enumerate(queries):
+            t0 = time.perf_counter()
+            outcome = selector.select(keys)
+            timings[i] += time.perf_counter() - t0
+            if round_index == 0:
+                candidates += outcome.total_candidates
+    return [t * 1e6 / rounds for t in timings], candidates
+
+
+def _time_batched(selector, queries, rounds):
+    """Time select_many() in chunks; per-query µs is chunk-amortized."""
+    timings = [0.0] * len(queries)
+    candidates = 0
+    for round_index in range(rounds):
+        for start in range(0, len(queries), BATCH_CHUNK):
+            chunk = queries[start : start + BATCH_CHUNK]
+            t0 = time.perf_counter()
+            outcomes = selector.select_many(chunk)
+            per_query = (time.perf_counter() - t0) / len(chunk)
+            for i in range(start, start + len(chunk)):
+                timings[i] += per_query
+            if round_index == 0:
+                candidates += sum(o.total_candidates for o in outcomes)
+    return [t * 1e6 / rounds for t in timings], candidates
+
+
+def run_selection_bench(scale: str) -> dict:
+    """Build the criteo layout and race the selection paths on it."""
+    _, live = get_split_trace("criteo", scale)
+    queries = [q.unique_keys() for q in live]
+    layout = layout_for("criteo", "maxembed", REPLICATION_RATIO, scale)
+    forward, invert = build_indexes(layout, limit=INDEX_LIMIT)
+    reference = OnePassSelector(forward, invert)
+    fast = FastOnePassSelector(forward, invert)
+    # Warm up memoized tables and the CSR build outside the timed region.
+    reference.select_many(queries[:8])
+    fast.select_many(queries[:8])
+    ref_us, ref_candidates = _time_per_query(reference, queries, rounds=3)
+    single_us, single_candidates = _time_per_query(fast, queries, rounds=3)
+    batch_us, batch_candidates = _time_batched(fast, queries, rounds=6)
+    assert ref_candidates == single_candidates == batch_candidates
+    ref_mean = sum(ref_us) / len(ref_us)
+    single_mean = sum(single_us) / len(single_us)
+    batch_mean = sum(batch_us) / len(batch_us)
+    return {
+        "bench": "selection",
+        "dataset": "criteo",
+        "scale": scale,
+        "index_limit": INDEX_LIMIT,
+        "replication_ratio": REPLICATION_RATIO,
+        "num_queries": len(queries),
+        "results": [
+            _stats(ref_us, ref_candidates, "onepass (reference)"),
+            _stats(single_us, single_candidates, "fast-onepass (select)"),
+            _stats(batch_us, batch_candidates, "fast-onepass (select_many)"),
+        ],
+        "speedup_single": round(ref_mean / single_mean, 2),
+        "speedup_batch": round(ref_mean / batch_mean, 2),
+    }
+
+
+def publish_json(document: dict) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "selection.json"
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path
+
+
+def test_selection_fast_path_speedup(scale):
+    document = run_selection_bench(scale)
+    path = publish_json(document)
+    lines = [f"selection bench ({document['num_queries']} queries) -> {path}"]
+    for row in document["results"]:
+        lines.append(
+            f"  {row['selector']:28s} {row['qps']:>10.0f} qps  "
+            f"mean {row['mean_us']:.1f} us  p50 {row['p50_us']:.1f}  "
+            f"p99 {row['p99_us']:.1f}  cand/q {row['candidates_per_query']}"
+        )
+    lines.append(
+        f"  speedup: single {document['speedup_single']}x, "
+        f"batch {document['speedup_batch']}x"
+    )
+    print("\n" + "\n".join(lines))
+    floor = min_speedup()
+    assert document["speedup_batch"] >= floor, (
+        f"batched fast path only {document['speedup_batch']}x >= {floor}x "
+        f"required over the reference one-pass selector"
+    )
+    # The single-query stamp path must at least not regress.
+    assert document["speedup_single"] >= 1.0
+
+
+if __name__ == "__main__":
+    result = run_selection_bench(bench_scale())
+    print(json.dumps(result, indent=2))
+    publish_json(result)

@@ -68,6 +68,13 @@ def _add_build(subparsers) -> None:
         default="cooccurrence",
         choices=["modulo", "frequency", "cooccurrence"],
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes for per-shard builds (default: one per shard "
+        "up to the CPU count; 1 = serial)",
+    )
     p.add_argument("--out", required=True, help="output layout file")
 
 
@@ -95,6 +102,13 @@ def _add_serve(subparsers) -> None:
     p.add_argument("--index-limit", type=int, default=None)
     p.add_argument(
         "--selector", default="onepass", choices=["onepass", "greedy"]
+    )
+    p.add_argument(
+        "--selection-path",
+        default="fast",
+        choices=["fast", "reference"],
+        help="array-backed fast selectors (default) or the reference "
+        "set-algebra oracle; outcomes are identical",
     )
     p.add_argument(
         "--executor", default="pipelined", choices=["pipelined", "serial"]
@@ -175,6 +189,7 @@ def _cmd_build(args) -> int:
         replication_ratio=args.ratio,
         num_shards=args.shards,
         shard_strategy=args.shard_strategy,
+        build_workers=args.workers,
         seed=args.seed,
     )
     if args.shards > 1:
@@ -242,6 +257,7 @@ def _cmd_serve_cluster(args, trace) -> int:
             cache_policy=args.cache_policy,
             index_limit=args.index_limit,
             selector=args.selector,
+            fast_selection=args.selection_path == "fast",
             executor=args.executor,
             threads=args.threads,
         ),
@@ -281,6 +297,7 @@ def _cmd_serve(args) -> int:
         cache_policy=args.cache_policy,
         index_limit=args.index_limit,
         selector=args.selector,
+        fast_selection=args.selection_path == "fast",
         executor=args.executor,
         threads=args.threads,
     )

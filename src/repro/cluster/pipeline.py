@@ -16,6 +16,9 @@ trace).
 from __future__ import annotations
 
 import math
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -107,12 +110,38 @@ def _sequential_layout(num_keys: int, capacity: int) -> PageLayout:
     )
 
 
+def _build_one_shard(
+    job: Tuple[QueryTrace, MaxEmbedConfig]
+) -> PageLayout:
+    """Place one shard (top-level so process pools can pickle it)."""
+    projected, config = job
+    if len(projected):
+        return build_offline_layout(projected, config)
+    return _sequential_layout(projected.num_keys, config.page_capacity)
+
+
+def _resolve_build_workers(workers: "int | None", num_shards: int) -> int:
+    """Effective process count: 0/1 = serial, None = one per shard."""
+    if num_shards <= 1:
+        return 1
+    if workers is None:
+        return min(num_shards, os.cpu_count() or 1)
+    return max(1, min(workers, num_shards))
+
+
 def build_sharded_layout(
     trace: QueryTrace,
     config: "MaxEmbedConfig | None" = None,
     plan: "ShardPlan | None" = None,
+    workers: "int | None" = None,
 ) -> ShardedLayout:
     """Run the full cluster offline phase: plan shards, place each one.
+
+    Shards are independent SHP runs over disjoint projections, so with
+    ``workers > 1`` they are placed by a ``ProcessPoolExecutor``; results
+    are gathered in shard order, so the artifact is identical to a serial
+    build.  Any pool failure (fork limits, unpicklable config) falls back
+    to the serial path.
 
     Args:
         trace: historical query log (the paper's offline input).
@@ -122,6 +151,9 @@ def build_sharded_layout(
             single-device flow.
         plan: pre-computed shard plan (overrides the config's planner) —
             lets experiments reuse one plan across placement configs.
+        workers: processes for the per-shard builds (``None`` defaults to
+            ``config.build_workers``, then to one per shard up to the CPU
+            count; ``0``/``1`` = serial).
     """
     config = config or MaxEmbedConfig()
     if plan is None:
@@ -133,13 +165,20 @@ def build_sharded_layout(
         raise ConfigError(
             f"plan covers {plan.num_keys} keys, trace has {trace.num_keys}"
         )
-    layouts = []
-    for shard in range(plan.num_shards):
-        projected = project_trace(trace, plan, shard)
-        if len(projected):
-            layouts.append(build_offline_layout(projected, config))
-        else:
-            layouts.append(
-                _sequential_layout(projected.num_keys, config.page_capacity)
-            )
+    if workers is None:
+        workers = config.build_workers
+    jobs = [
+        (project_trace(trace, plan, shard), config)
+        for shard in range(plan.num_shards)
+    ]
+    effective = _resolve_build_workers(workers, plan.num_shards)
+    layouts: "List[PageLayout] | None" = None
+    if effective > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=effective) as pool:
+                layouts = list(pool.map(_build_one_shard, jobs))
+        except (OSError, ValueError, RuntimeError, pickle.PicklingError):
+            layouts = None  # pool unavailable — fall back to serial
+    if layouts is None:
+        layouts = [_build_one_shard(job) for job in jobs]
     return ShardedLayout(plan, tuple(layouts))

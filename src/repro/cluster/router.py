@@ -20,6 +20,7 @@ on a hot shard emerges naturally — that is precisely the imbalance the
 from __future__ import annotations
 
 import heapq
+from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ServingError
@@ -48,11 +49,28 @@ class ClusterEngine:
             ServingEngine(layout, self.config)
             for layout in sharded.layouts
         ]
+        workers = self.config.scatter_workers
+        if workers is None:
+            workers = self.num_shards if self.num_shards > 1 else 0
+        self._pool: Optional[ThreadPoolExecutor] = (
+            ThreadPoolExecutor(
+                max_workers=min(workers, self.num_shards),
+                thread_name_prefix="scatter",
+            )
+            if workers > 1
+            else None
+        )
 
     @property
     def num_shards(self) -> int:
         """Shard count."""
         return self.plan.num_shards
+
+    def close(self) -> None:
+        """Shut down the scatter worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     # -- layout management -----------------------------------------------------
 
@@ -101,10 +119,26 @@ class ClusterEngine:
     ) -> Tuple[QueryResult, Dict[int, QueryResult]]:
         """Serve one query; return (gathered result, per-shard results)."""
         fragments = self.scatter(query)
-        sub_results = {
-            shard: self.engines[shard].serve_query(fragment, start_us)
-            for shard, fragment in sorted(fragments.items())
-        }
+        items = sorted(fragments.items())
+        if self._pool is not None and len(items) > 1:
+            # Shard engines are fully independent (own cache, device, and
+            # selector state), so per-shard selection runs concurrently;
+            # gathering in shard order keeps the result deterministic.
+            futures = [
+                self._pool.submit(
+                    self.engines[shard].serve_query, fragment, start_us
+                )
+                for shard, fragment in items
+            ]
+            sub_results = {
+                shard: future.result()
+                for (shard, _), future in zip(items, futures)
+            }
+        else:
+            sub_results = {
+                shard: self.engines[shard].serve_query(fragment, start_us)
+                for shard, fragment in items
+            }
         return merge_shard_results(list(sub_results.values())), sub_results
 
     def serve_query(self, query: Query, start_us: float = 0.0) -> QueryResult:

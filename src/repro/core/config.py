@@ -38,12 +38,20 @@ class MaxEmbedConfig:
         raid_members: >1 stripes over a RAID-0.
         selector / executor: online algorithms (see
             :class:`~repro.serving.EngineConfig`).
+        fast_selection: serve with the array-backed fast selectors
+            (outcome-identical to the reference path; ``False`` forces
+            the reference set-algebra selectors).
         threads: simulated serving threads.
+        scatter_workers: cluster scatter-phase selection threads (see
+            :class:`~repro.serving.EngineConfig`).
         cost_model: selection CPU charges.
         num_shards: >1 splits the table across that many shards, each
             served by its own engine and device (see :mod:`repro.cluster`).
         shard_strategy: key → shard planner: ``"modulo"``,
             ``"frequency"``, or ``"cooccurrence"``.
+        build_workers: processes for the per-shard offline builds
+            (``None`` = one per shard up to the CPU count, ``0``/``1`` =
+            serial).
         seed: base RNG seed for every stochastic component.
     """
 
@@ -58,11 +66,14 @@ class MaxEmbedConfig:
     profile: SsdProfile = P5800X
     raid_members: int = 1
     selector: str = "onepass"
+    fast_selection: bool = True
     executor: str = "pipelined"
     threads: int = 8
+    scatter_workers: Optional[int] = None
     cost_model: CpuCostModel = field(default_factory=CpuCostModel)
     num_shards: int = 1
     shard_strategy: str = "cooccurrence"
+    build_workers: Optional[int] = None
     seed: int = 0
 
     _STRATEGIES = ("maxembed", "rpp", "fpr", "none")
@@ -94,6 +105,10 @@ class MaxEmbedConfig:
             raise ConfigError(
                 f"unknown shard strategy {self.shard_strategy!r}; "
                 f"choose from {self._SHARD_STRATEGIES}"
+            )
+        if self.build_workers is not None and self.build_workers < 0:
+            raise ConfigError(
+                f"build_workers must be >= 0, got {self.build_workers}"
             )
 
     @property

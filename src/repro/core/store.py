@@ -97,8 +97,10 @@ class MaxEmbedStore:
                 cache_policy=self.config.cache_policy,
                 index_limit=self.config.index_limit,
                 selector=self.config.selector,
+                fast_selection=self.config.fast_selection,
                 executor=self.config.executor,
                 threads=self.config.threads,
+                scatter_workers=self.config.scatter_workers,
                 raid_members=self.config.raid_members,
                 cost_model=self.config.cost_model,
             ),

@@ -27,7 +27,7 @@ from ..partition import (
     ShpConfig,
     ShpPartitioner,
 )
-from ..placement import ForwardIndex, InvertIndex, layout_from_partition
+from ..placement import build_indexes, layout_from_partition
 from ..replication import ConnectivityPriorityStrategy
 from ..serving.selection import GreedySetCoverSelector, OnePassSelector
 from .common import get_split_trace
@@ -121,8 +121,7 @@ def run_selector_cost(
         ShpPartitioner(ShpConfig(seed=seed))
     )
     layout = strategy.build_layout(graph, capacity, ratio)
-    forward = ForwardIndex.from_layout(layout)
-    invert = InvertIndex.from_layout(layout)
+    forward, invert = build_indexes(layout)
     result = ExperimentResult(
         exp_id="ablation-selector",
         title=f"Page selection ablation ({dataset}, r={ratio})",
@@ -142,7 +141,7 @@ def run_selector_cost(
             if max_queries is not None and index >= max_queries:
                 break
             outcome = selector.select(query.unique_keys())
-            pages += len(outcome.steps)
+            pages += outcome.num_steps
             candidates += outcome.total_candidates
         result.rows.append([name, pages, candidates])
     return result

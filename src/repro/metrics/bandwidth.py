@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..errors import ConfigError
-from ..placement import ForwardIndex, InvertIndex, PageLayout
+from ..placement import PageLayout, build_indexes
 from ..serving.selection import (
     GreedySetCoverSelector,
     OnePassSelector,
@@ -97,8 +97,7 @@ def evaluate_placement(
         raise ConfigError(
             f"unknown selector {selector!r}; choose from {sorted(_SELECTORS)}"
         )
-    forward = ForwardIndex.from_layout(layout, limit=index_limit)
-    invert = InvertIndex.from_layout(layout)
+    forward, invert = build_indexes(layout, limit=index_limit)
     chooser: Selector = _SELECTORS[selector](forward, invert)
     evaluation = PlacementEvaluation(
         num_queries=0,
@@ -115,9 +114,8 @@ def evaluate_placement(
         outcome = chooser.select(keys)
         evaluation.num_queries += 1
         evaluation.total_requested += len(keys)
-        evaluation.total_reads += len(outcome.steps)
-        for step in outcome.steps:
-            valid = len(step.covered)
+        evaluation.total_reads += outcome.num_steps
+        for valid in outcome.covered_counts:
             evaluation.total_valid += valid
             evaluation.valid_per_read_hist[valid] = (
                 evaluation.valid_per_read_hist.get(valid, 0) + 1

@@ -12,7 +12,9 @@ through two DRAM-resident indexes (paper §6):
 from .layout import PageLayout, layout_from_partition
 from .forward_index import ForwardIndex
 from .invert_index import InvertIndex
-from .serialize import load_layout, save_layout
+from .build import build_indexes
+from .csr import CsrArray, CsrIndexes, transpose_csr
+from .serialize import load_indexes, load_layout, save_indexes, save_layout
 from .diagnostics import LayoutReport, hot_pair_coverage, layout_report
 
 __all__ = [
@@ -20,8 +22,14 @@ __all__ = [
     "layout_from_partition",
     "ForwardIndex",
     "InvertIndex",
+    "build_indexes",
+    "CsrArray",
+    "CsrIndexes",
+    "transpose_csr",
     "save_layout",
     "load_layout",
+    "save_indexes",
+    "load_indexes",
     "LayoutReport",
     "layout_report",
     "hot_pair_coverage",

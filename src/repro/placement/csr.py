@@ -1,0 +1,232 @@
+"""CSR (compressed sparse row) array form of the online-phase indexes.
+
+The dict-of-tuples :class:`~repro.placement.forward_index.ForwardIndex`
+and per-page :class:`~repro.placement.invert_index.InvertIndex` are
+convenient oracles, but the selection hot loop (paper §6.1, >56 % of
+end-to-end latency in Fig. 15) wants flat arrays: one ``indptr`` /
+``indices`` pair per index, built once per layout, shareable zero-copy
+via ``np.save``/``np.load(mmap_mode="r")``.
+
+Three CSR matrices cover the whole online phase:
+
+* ``forward``      — key → candidate pages, *after* index shrinking
+  (paper §6.1, first ``k`` pages per key, home page first);
+* ``invert``       — page → keys in storage order (never shrunk,
+  Figure 7: a read serves every co-resident key);
+* ``full_forward`` — key → **every** page holding it, in ascending page
+  order; this is the transpose of ``invert`` and is what the fast
+  selectors use to mark which query keys each candidate read would
+  cover, independent of shrinking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import PlacementError
+from .forward_index import ForwardIndex
+from .invert_index import InvertIndex
+from .layout import PageLayout
+
+INDEX_DTYPE = np.int64
+
+
+@dataclass(frozen=True)
+class CsrArray:
+    """One ragged mapping ``row -> values`` as flat numpy arrays.
+
+    Attributes:
+        indptr: shape ``(num_rows + 1,)``; row ``r`` owns
+            ``indices[indptr[r]:indptr[r + 1]]``.
+        indices: concatenated per-row values.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.indptr.ndim != 1 or self.indices.ndim != 1:
+            raise PlacementError("CSR arrays must be one-dimensional")
+        if len(self.indptr) == 0:
+            raise PlacementError("CSR indptr must hold at least one offset")
+        if int(self.indptr[0]) != 0 or int(self.indptr[-1]) != len(self.indices):
+            raise PlacementError(
+                f"CSR indptr must span [0, {len(self.indices)}], got "
+                f"[{int(self.indptr[0])}, {int(self.indptr[-1])}]"
+            )
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows in the mapping."""
+        return len(self.indptr) - 1
+
+    @property
+    def num_entries(self) -> int:
+        """Total stored (row, value) pairs."""
+        return len(self.indices)
+
+    def row(self, r: int) -> np.ndarray:
+        """Values of row ``r`` (a zero-copy slice)."""
+        if not 0 <= r < self.num_rows:
+            raise PlacementError(f"CSR row {r} out of range")
+        return self.indices[self.indptr[r] : self.indptr[r + 1]]
+
+    def row_lengths(self) -> np.ndarray:
+        """Per-row entry counts (``indptr`` differences)."""
+        return np.diff(self.indptr)
+
+    def tolists(self):
+        """Materialize python lists ``(indptr, indices)`` (hot-loop mirror)."""
+        return self.indptr.tolist(), self.indices.tolist()
+
+    @classmethod
+    def from_rows(cls, rows) -> "CsrArray":
+        """Build from an iterable of per-row sequences."""
+        lengths = [len(r) for r in rows]
+        indptr = np.zeros(len(lengths) + 1, dtype=INDEX_DTYPE)
+        np.cumsum(lengths, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=INDEX_DTYPE)
+        at = 0
+        for r in rows:
+            indices[at : at + len(r)] = r
+            at += len(r)
+        return cls(indptr=indptr, indices=indices)
+
+
+def transpose_csr(csr: CsrArray, num_cols: int) -> CsrArray:
+    """Transpose ``row -> cols`` into ``col -> rows`` (rows ascending).
+
+    One counting-sort pass, O(entries); because input rows are visited in
+    ascending order, each output row lists its values in ascending input
+    row order — for an invert index this yields page-id-ascending forward
+    entries, matching :meth:`ForwardIndex.from_layout` ordering.
+    """
+    counts = np.bincount(csr.indices, minlength=num_cols)
+    indptr = np.zeros(num_cols + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=indptr[1:])
+    row_ids = np.repeat(
+        np.arange(csr.num_rows, dtype=INDEX_DTYPE), csr.row_lengths()
+    )
+    # Stable sort by column keeps ties in (row, position) order, so each
+    # output column lists its rows ascending.
+    order = np.argsort(csr.indices, kind="stable")
+    return CsrArray(indptr=indptr, indices=np.ascontiguousarray(row_ids[order]))
+
+
+@dataclass(frozen=True)
+class CsrIndexes:
+    """The three CSR matrices of one layout's online indexes.
+
+    Attributes:
+        forward: key → candidate pages (shrunk to ``limit`` when set).
+        invert: page → keys (storage order, never shrunk).
+        full_forward: key → all pages holding it (ascending page ids).
+        limit: the forward shrink ``k`` the arrays were built with.
+    """
+
+    forward: CsrArray
+    invert: CsrArray
+    full_forward: CsrArray
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.forward.num_rows != self.full_forward.num_rows:
+            raise PlacementError(
+                f"forward covers {self.forward.num_rows} keys, "
+                f"full_forward covers {self.full_forward.num_rows}"
+            )
+
+    @property
+    def num_keys(self) -> int:
+        """Keys in the table."""
+        return self.forward.num_rows
+
+    @property
+    def num_pages(self) -> int:
+        """Pages in the layout."""
+        return self.invert.num_rows
+
+    @classmethod
+    def from_layout(
+        cls, layout: PageLayout, limit: "int | None" = None
+    ) -> "CsrIndexes":
+        """Build all three matrices in one scan of the layout."""
+        if limit is not None and limit < 1:
+            raise PlacementError(f"index limit must be >= 1, got {limit}")
+        invert = CsrArray.from_rows(layout.pages())
+        full_forward = transpose_csr(invert, layout.num_keys)
+        forward = _shrink_forward(full_forward, limit)
+        _check_coverage(full_forward)
+        return cls(
+            forward=forward,
+            invert=invert,
+            full_forward=full_forward,
+            limit=limit,
+        )
+
+    @classmethod
+    def from_indexes(
+        cls,
+        forward: ForwardIndex,
+        invert: InvertIndex,
+        limit: "int | None" = None,
+    ) -> "CsrIndexes":
+        """Mirror already-built reference indexes into CSR form.
+
+        The forward entries are taken verbatim (including any shrinking or
+        hand-constructed ordering), so selectors driven by these arrays
+        examine candidates in exactly the reference order.
+        """
+        fwd = CsrArray.from_rows(
+            [forward.pages_of(k) for k in range(forward.num_keys)]
+        )
+        inv = CsrArray.from_rows(
+            [invert.keys_of(p) for p in range(invert.num_pages)]
+        )
+        full = transpose_csr(inv, forward.num_keys)
+        return cls(forward=fwd, invert=inv, full_forward=full, limit=limit)
+
+    def to_indexes(self) -> Tuple[ForwardIndex, InvertIndex]:
+        """Reconstruct the reference index objects (load path)."""
+        fp, fi = self.forward.tolists()
+        entries = [
+            tuple(fi[fp[k] : fp[k + 1]]) for k in range(self.num_keys)
+        ]
+        ip, ii = self.invert.tolists()
+        pages = [tuple(ii[ip[p] : ip[p + 1]]) for p in range(self.num_pages)]
+        return ForwardIndex(entries), InvertIndex(pages)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the six arrays (the DRAM footprint, §7.1)."""
+        return sum(
+            a.indptr.nbytes + a.indices.nbytes
+            for a in (self.forward, self.invert, self.full_forward)
+        )
+
+
+def _shrink_forward(full_forward: CsrArray, limit: "int | None") -> CsrArray:
+    """First-``limit`` prefix of every key's page list (§6.1 shrinking)."""
+    if limit is None:
+        return full_forward
+    lengths = full_forward.row_lengths()
+    kept = np.minimum(lengths, limit)
+    indptr = np.zeros(full_forward.num_rows + 1, dtype=INDEX_DTYPE)
+    np.cumsum(kept, out=indptr[1:])
+    starts = full_forward.indptr[:-1]
+    # Gather each row's prefix: positions start..start+kept.
+    offsets = np.arange(int(indptr[-1]), dtype=INDEX_DTYPE) - np.repeat(
+        indptr[:-1], kept
+    )
+    indices = full_forward.indices[np.repeat(starts, kept) + offsets]
+    return CsrArray(indptr=indptr, indices=np.ascontiguousarray(indices))
+
+
+def _check_coverage(full_forward: CsrArray) -> None:
+    """Every key must live on at least one page (layout invariant)."""
+    lengths = full_forward.row_lengths()
+    if len(lengths) and int(lengths.min()) == 0:
+        first = int(np.argmin(lengths))
+        raise PlacementError(f"key {first} has no pages in forward index")

@@ -9,7 +9,7 @@ bandwidth loss for bounded selection cost and a smaller index.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..errors import PlacementError
 from .layout import PageLayout
@@ -23,6 +23,7 @@ class ForwardIndex:
             if not pages:
                 raise PlacementError(f"key {key} has no pages in forward index")
         self._entries = entries
+        self._counts: Optional[List[int]] = None
 
     @classmethod
     def from_layout(
@@ -58,9 +59,20 @@ class ForwardIndex:
         """The key's base (partition) page."""
         return self.pages_of(key)[0]
 
+    def entries(self) -> List[Tuple[int, ...]]:
+        """All per-key page tuples, indexed by key (shared, do not mutate)."""
+        return self._entries
+
     def replica_count(self, key: int) -> int:
         """Number of indexed pages for ``key`` (1 = unreplicated)."""
         return len(self.pages_of(key))
+
+    def replica_counts(self) -> List[int]:
+        """Per-key page counts, memoized — the one-pass sort key reads this
+        once per query key, so it must not re-walk the entry tuples."""
+        if self._counts is None:
+            self._counts = [len(p) for p in self._entries]
+        return self._counts
 
     def shrink(self, limit: int) -> "ForwardIndex":
         """Return a copy keeping only the first ``limit`` pages per key."""

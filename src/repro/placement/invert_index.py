@@ -9,7 +9,7 @@ page still serves the key because the invert index knows it is there.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Tuple
+from typing import FrozenSet, List, Optional, Tuple
 
 from ..errors import PlacementError
 from .layout import PageLayout
@@ -21,6 +21,7 @@ class InvertIndex:
     def __init__(self, pages: List[Tuple[int, ...]]) -> None:
         self._pages = pages
         self._sets: List[FrozenSet[int]] = [frozenset(p) for p in pages]
+        self._sorted: Optional[List[Tuple[int, ...]]] = None
 
     @classmethod
     def from_layout(cls, layout: PageLayout) -> "InvertIndex":
@@ -43,6 +44,18 @@ class InvertIndex:
         if not 0 <= page_id < len(self._sets):
             raise PlacementError(f"page id {page_id} out of range")
         return self._sets[page_id]
+
+    def sorted_keys_of(self, page_id: int) -> Tuple[int, ...]:
+        """Keys on ``page_id`` in ascending key order, memoized.
+
+        Selectors emit covered keys in this order by filtering the presorted
+        tuple, which avoids a per-step ``sorted()`` call.
+        """
+        if self._sorted is None:
+            self._sorted = [tuple(sorted(p)) for p in self._pages]
+        if not 0 <= page_id < len(self._sorted):
+            raise PlacementError(f"page id {page_id} out of range")
+        return self._sorted[page_id]
 
     def covered(self, page_id: int, wanted: set) -> int:
         """How many of ``wanted`` keys a read of ``page_id`` would serve."""

@@ -19,7 +19,7 @@ from typing import List, Tuple
 
 from ..errors import ConfigError
 from ..hypergraph import Hypergraph, build_weighted_hypergraph
-from ..placement import ForwardIndex, InvertIndex, PageLayout
+from ..placement import ForwardIndex, PageLayout, build_indexes
 from ..serving.selection import OnePassSelector
 from ..types import QueryTrace
 from .connectivity import ConnectivityPriorityStrategy
@@ -105,13 +105,12 @@ class IncrementalReplicator:
         selection against the deployed layout (replicas included), so a
         combination already served by an existing replica page scores 0.
         """
-        forward = ForwardIndex.from_layout(layout)
-        invert = InvertIndex.from_layout(layout)
+        forward, invert = build_indexes(layout)
         selector = OnePassSelector(forward, invert)
         scores = [0] * layout.num_keys
         for _, edge, weight in graph.edge_items():
             outcome = selector.select(edge)
-            contribution = (len(outcome.steps) - 1) * weight
+            contribution = (outcome.num_steps - 1) * weight
             if contribution <= 0:
                 continue
             for key in edge:

@@ -21,6 +21,11 @@ from .selection import (
     SelectionStep,
     Selector,
 )
+from .fast_selection import (
+    FastGreedySelector,
+    FastOnePassSelector,
+    FastSelectionOutcome,
+)
 from .cost_model import CpuCostModel
 from .executor import ExecutionResult, Executor, PipelinedExecutor, SerialExecutor
 from .engine import EngineConfig, QueryResult, ServingEngine
@@ -34,6 +39,9 @@ __all__ = [
     "SelectionOutcome",
     "GreedySetCoverSelector",
     "OnePassSelector",
+    "FastOnePassSelector",
+    "FastGreedySelector",
+    "FastSelectionOutcome",
     "CpuCostModel",
     "Executor",
     "SerialExecutor",

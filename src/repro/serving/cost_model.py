@@ -61,7 +61,7 @@ class CpuCostModel:
     def selection_time_us(self, outcome: SelectionOutcome) -> float:
         """Total selection CPU (excluding the sort) for a query."""
         return sum(
-            self.step_time_us(s.candidates_examined) for s in outcome.steps
+            self.step_time_us(c) for c in outcome.candidate_counts
         )
 
     def total_cpu_us(self, outcome: SelectionOutcome) -> float:

@@ -16,15 +16,20 @@ from typing import List, Optional, Sequence
 
 from ..cache import EmbeddingCache
 from ..errors import ServingError
-from ..placement import ForwardIndex, InvertIndex, PageLayout
+from ..placement import PageLayout, build_indexes
 from ..ssd import P5800X, Raid0Array, SimulatedSsd, SsdProfile
 from ..types import EmbeddingSpec, Query, QueryTrace
 from .cost_model import CpuCostModel
 from .executor import Executor, PipelinedExecutor, SerialExecutor
+from .fast_selection import FastGreedySelector, FastOnePassSelector
 from .selection import GreedySetCoverSelector, OnePassSelector, Selector
 from .stats import QueryResult, ServingReport, aggregate_results
 
 _SELECTORS = {"onepass": OnePassSelector, "greedy": GreedySetCoverSelector}
+_FAST_SELECTORS = {
+    "onepass": FastOnePassSelector,
+    "greedy": FastGreedySelector,
+}
 _EXECUTORS = {"pipelined": PipelinedExecutor, "serial": SerialExecutor}
 
 
@@ -46,8 +51,15 @@ class EngineConfig:
             the keys likely to be asked for next).
         index_limit: forward-index shrink ``k`` (None = full index).
         selector: ``"onepass"`` (MaxEmbed) or ``"greedy"`` (baseline).
+        fast_selection: serve with the array-backed fast selectors
+            (:mod:`repro.serving.fast_selection`), which produce outcomes
+            identical to the reference selectors.  ``False`` forces the
+            reference set-algebra path (the oracle).
         executor: ``"pipelined"`` (MaxEmbed) or ``"serial"`` (raw).
         threads: simulated serving threads (paper uses 8).
+        scatter_workers: threads for the cluster scatter phase's per-shard
+            selection (``None`` = one per shard when sharded, ``0``/``1``
+            = serial).  Ignored by single-shard engines.
         raid_members: >1 builds a RAID-0 of that many drives.
         cost_model: CPU charge table for the selection path.
     """
@@ -59,8 +71,10 @@ class EngineConfig:
     page_grain_admission: bool = False
     index_limit: Optional[int] = None
     selector: str = "onepass"
+    fast_selection: bool = True
     executor: str = "pipelined"
     threads: int = 8
+    scatter_workers: Optional[int] = None
     raid_members: int = 1
     cost_model: CpuCostModel = field(default_factory=CpuCostModel)
 
@@ -81,6 +95,10 @@ class EngineConfig:
             raise ServingError(
                 f"raid_members must be positive, got {self.raid_members}"
             )
+        if self.scatter_workers is not None and self.scatter_workers < 0:
+            raise ServingError(
+                f"scatter_workers must be >= 0, got {self.scatter_workers}"
+            )
         if not 0.0 <= self.cache_ratio <= 1.0:
             raise ServingError(
                 f"cache_ratio must be in [0, 1], got {self.cache_ratio}"
@@ -98,11 +116,13 @@ class ServingEngine:
                 f"spec fits {self.config.spec.slots_per_page} embeddings per "
                 f"page; layout packs {layout.capacity}"
             )
-        self.forward = ForwardIndex.from_layout(
+        self.forward, self.invert = build_indexes(
             layout, limit=self.config.index_limit
         )
-        self.invert = InvertIndex.from_layout(layout)
-        self.selector: Selector = _SELECTORS[self.config.selector](
+        selectors = (
+            _FAST_SELECTORS if self.config.fast_selection else _SELECTORS
+        )
+        self.selector: Selector = selectors[self.config.selector](
             self.forward, self.invert
         )
         self.executor: Executor = _EXECUTORS[self.config.executor](
@@ -146,8 +166,8 @@ class ServingEngine:
         outcome = self.selector.select(misses)
         execution = self.executor.execute(outcome, self.device, start_us)
         if self.config.page_grain_admission:
-            for step in outcome.steps:
-                self.cache.admit(self.invert.keys_of(step.page_id))
+            for page_id in outcome.pages:
+                self.cache.admit(self.invert.keys_of(page_id))
         else:
             self.cache.admit(misses)
         return QueryResult(
@@ -155,7 +175,7 @@ class ServingEngine:
             cache_hits=len(hits),
             ssd_keys=len(misses),
             pages_read=execution.pages_read,
-            valid_per_read=tuple(len(s.covered) for s in outcome.steps),
+            valid_per_read=tuple(outcome.covered_counts),
             start_us=start_us,
             finish_us=execution.finish_us,
             execution=execution,

@@ -97,9 +97,9 @@ class SerialExecutor(Executor):
         selection_us = self.cost_model.selection_time_us(outcome)
         now = start_us + front + selection_us
         last_completion = now
-        for step in outcome.steps:
+        for page_id in outcome.pages:
             completion, now = self._submit_with_backpressure(
-                device, step.page_id, now
+                device, page_id, now
             )
             last_completion = max(last_completion, completion.completed_at_us)
         device.poll(last_completion)
@@ -109,7 +109,7 @@ class SerialExecutor(Executor):
             sort_us=sort_us,
             selection_us=selection_us,
             io_wait_us=last_completion - now,
-            pages_read=len(outcome.steps),
+            pages_read=outcome.num_steps,
         )
 
 
@@ -123,12 +123,14 @@ class PipelinedExecutor(Executor):
         now = start_us + front
         selection_us = 0.0
         last_completion = now
-        for step in outcome.steps:
-            cpu = self.cost_model.step_time_us(step.candidates_examined)
+        for page_id, candidates in zip(
+            outcome.pages, outcome.candidate_counts
+        ):
+            cpu = self.cost_model.step_time_us(candidates)
             selection_us += cpu
             now += cpu
             completion, now = self._submit_with_backpressure(
-                device, step.page_id, now
+                device, page_id, now
             )
             last_completion = max(last_completion, completion.completed_at_us)
         finish = max(now, last_completion)
@@ -139,5 +141,5 @@ class PipelinedExecutor(Executor):
             sort_us=sort_us,
             selection_us=selection_us,
             io_wait_us=max(0.0, finish - now),
-            pages_read=len(outcome.steps),
+            pages_read=outcome.num_steps,
         )

@@ -1,0 +1,457 @@
+"""Array-backed fast path for page selection.
+
+Same algorithms as :mod:`repro.serving.selection`, engineered for the
+paper's observation that selection is >56 % of end-to-end latency
+(Fig. 15).  Two mechanisms replace the per-query set algebra:
+
+**Epoch stamp array** (single-query path, both selectors).  One
+preallocated ``int`` per table key.  A key is "uncovered in the current
+query" iff ``stamp[key] == epoch``; the epoch counter increments per
+query, so resetting state costs one integer increment, an uncovered test
+is one list index + compare, and covering a key is one stamp write.  No
+per-query allocation beyond the output.
+
+**Packed cover masks** (batched path, :meth:`FastOnePassSelector.
+select_many`).  The replica-count sort of every query in the batch is
+amortized into a single composite-key ``np.argsort``; each (query, page)
+pair gets an integer bitmask of the query keys that page would cover,
+built with one ``np.bincount``; the per-query cover loop then runs on
+plain ints — "next uncovered key" is ``rem & -rem`` and covering is one
+XOR.  Bits are assigned in *process* order (ascending replica count,
+then key), so the loop visits exactly the keys the reference selector
+would start a step from.  Queries wider than 52 distinct keys (the
+float64-exact bincount limit) and queries with duplicate keys fall back
+to the stamp-array path.
+
+Outcomes are bit-identical to the reference selectors: candidates are
+examined in forward-index order with the same first-strict-max tie
+break, covers are counted through the (never-shrunk) invert index, and
+covered keys are emitted ascending.  ``select_many`` returns lazy
+outcome objects that serve the executors' flat accessors from arrays
+and only build :class:`SelectionStep` tuples if ``.steps`` is read.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import ServingError
+from ..placement import CsrIndexes, ForwardIndex, InvertIndex
+from .selection import SelectionOutcome, SelectionStep, Selector
+
+# Cover masks are summed via float64 bincount weights: distinct powers of
+# two sum exactly while the total stays under 2**53, i.e. <= 52 bits.
+MASK_KEY_LIMIT = 52
+
+# Cap on B * num_pages cells in one batched mask table (64 MiB of float64).
+_CHUNK_CELLS = 1 << 23
+
+# Composite sort keys must stay well inside int64.
+_COMP_LIMIT = 1 << 62
+
+
+class FastSelectionOutcome:
+    """Lazy outcome produced by the batched fast path.
+
+    Duck-types :class:`~repro.serving.selection.SelectionOutcome`: the
+    flat accessors are served straight from the selection loop's arrays,
+    and ``.steps`` materializes (once) only when read.
+    """
+
+    __slots__ = (
+        "_pages",
+        "_masks",
+        "_candidate_counts",
+        "_kbase",
+        "_okeys",
+        "sorted_keys",
+        "_steps",
+    )
+
+    def __init__(
+        self,
+        pages: List[int],
+        masks: List[int],
+        candidate_counts: List[int],
+        kbase: int,
+        okeys: List[int],
+        sorted_keys: int,
+    ) -> None:
+        self._pages = pages
+        self._masks = masks
+        self._candidate_counts = candidate_counts
+        self._kbase = kbase
+        self._okeys = okeys  # shared process-order key list for the batch
+        self.sorted_keys = sorted_keys
+        self._steps: Optional[Tuple[SelectionStep, ...]] = None
+
+    @property
+    def pages(self) -> List[int]:
+        """Chosen page ids in read order (shared list — do not mutate)."""
+        return self._pages
+
+    @property
+    def candidate_counts(self) -> List[int]:
+        """Candidate pages examined at each step, in read order."""
+        return self._candidate_counts
+
+    @property
+    def covered_counts(self) -> List[int]:
+        """Newly covered keys per step (popcount of the cover masks)."""
+        return [m.bit_count() for m in self._masks]
+
+    @property
+    def num_steps(self) -> int:
+        """Number of page reads chosen."""
+        return len(self._pages)
+
+    @property
+    def total_candidates(self) -> int:
+        """Total candidate-page examinations across steps."""
+        return sum(self._candidate_counts)
+
+    @property
+    def steps(self) -> Tuple[SelectionStep, ...]:
+        """Materialized steps, identical to the reference selector's."""
+        if self._steps is None:
+            okeys = self._okeys
+            kbase = self._kbase
+            steps = []
+            for page, mask, n_cand in zip(
+                self._pages, self._masks, self._candidate_counts
+            ):
+                covered = []
+                while mask:
+                    bit = mask & -mask
+                    covered.append(okeys[kbase + bit.bit_length() - 1])
+                    mask ^= bit
+                covered.sort()
+                steps.append(
+                    SelectionStep(
+                        page_id=page,
+                        covered=tuple(covered),
+                        candidates_examined=n_cand,
+                    )
+                )
+            self._steps = tuple(steps)
+        return self._steps
+
+    def covered_keys(self) -> Set[int]:
+        """Union of keys served by the chosen pages."""
+        okeys = self._okeys
+        kbase = self._kbase
+        out: Set[int] = set()
+        for mask in self._masks:
+            while mask:
+                bit = mask & -mask
+                out.add(okeys[kbase + bit.bit_length() - 1])
+                mask ^= bit
+        return out
+
+
+class _FastSelectorBase(Selector):
+    """Shared state: list mirrors of the indexes plus the stamp array."""
+
+    def __init__(
+        self,
+        forward: ForwardIndex,
+        invert: InvertIndex,
+        csr: "CsrIndexes | None" = None,
+    ) -> None:
+        super().__init__(forward, invert)
+        self._num_keys = forward.num_keys
+        self._entries = forward.entries()
+        self._counts = forward.replica_counts()
+        self._inv_pages = [
+            invert.keys_of(p) for p in range(invert.num_pages)
+        ]
+        # Epoch/generation stamps: stamp[k] == epoch  <=>  k is an
+        # uncovered key of the query currently being selected.
+        self._stamp = [0] * self._num_keys
+        self._epoch = 0
+        self._csr = csr
+
+    # -- shared per-query front end ----------------------------------------------
+
+    def _stamp_query(self, keys: Sequence[int]) -> Tuple[List[int], int]:
+        """Bounds-check, dedupe, and stamp ``keys``; return (distinct, epoch)."""
+        self._epoch += 1
+        epoch = self._epoch
+        stamp = self._stamp
+        num_keys = self._num_keys
+        distinct: List[int] = []
+        for k in keys:
+            if not 0 <= k < num_keys:
+                raise ServingError(f"key {k} is not in the embedding table")
+            if stamp[k] != epoch:
+                stamp[k] = epoch
+                distinct.append(k)
+        return distinct, epoch
+
+    def _csr_indexes(self) -> CsrIndexes:
+        if self._csr is None:
+            self._csr = CsrIndexes.from_indexes(
+                self.forward, self.invert, limit=None
+            )
+        return self._csr
+
+
+class FastOnePassSelector(_FastSelectorBase):
+    """One-pass selection (§6.1) on the stamp array / packed-mask machinery.
+
+    Produces outcomes identical to
+    :class:`~repro.serving.selection.OnePassSelector`.
+    """
+
+    def select(self, keys: Sequence[int]) -> SelectionOutcome:
+        distinct, epoch = self._stamp_query(keys)
+        counts = self._counts
+        span = self._num_keys
+        distinct.sort(key=lambda k: counts[k] * span + k)
+        stamp = self._stamp
+        entries = self._entries
+        inv_pages = self._inv_pages
+        sorted_keys_of = self.invert.sorted_keys_of
+        steps: List[SelectionStep] = []
+        for key in distinct:
+            if stamp[key] != epoch:
+                continue  # hitchhiked on an earlier read — skip
+            candidates = entries[key]
+            best_page = candidates[0]
+            best_count = 0
+            for k in inv_pages[best_page]:
+                if stamp[k] == epoch:
+                    best_count += 1
+            for page in candidates[1:]:
+                count = 0
+                for k in inv_pages[page]:
+                    if stamp[k] == epoch:
+                        count += 1
+                if count > best_count:
+                    best_page = page
+                    best_count = count
+            covered = []
+            for k in sorted_keys_of(best_page):
+                if stamp[k] == epoch:
+                    stamp[k] = 0
+                    covered.append(k)
+            steps.append(
+                SelectionStep(
+                    page_id=best_page,
+                    covered=tuple(covered),
+                    candidates_examined=len(candidates),
+                )
+            )
+        return SelectionOutcome(tuple(steps), sorted_keys=len(distinct))
+
+    # -- batched path -------------------------------------------------------------
+
+    def select_many(self, queries: Sequence[Sequence[int]]) -> List[object]:
+        """Batched selection; amortizes the replica-count sort via argsort."""
+        results: List[object] = [None] * len(queries)
+        narrow: List[Tuple[int, Sequence[int]]] = []
+        for i, q in enumerate(queries):
+            if len(q) > MASK_KEY_LIMIT:
+                results[i] = self.select(q)  # wide: stamp-array path
+            else:
+                narrow.append((i, q))
+        if narrow:
+            chunk = self._chunk_size()
+            for at in range(0, len(narrow), chunk):
+                part = narrow[at : at + chunk]
+                outcomes = self._select_batch([q for _, q in part])
+                for (i, _), outcome in zip(part, outcomes):
+                    results[i] = outcome
+        return results
+
+    def _chunk_size(self) -> int:
+        n_pages = len(self._inv_pages)
+        max_count = max(self._counts) + 1
+        by_cells = max(1, _CHUNK_CELLS // max(1, n_pages))
+        by_comp = max(1, _COMP_LIMIT // (max_count * max(1, self._num_keys)))
+        return min(by_cells, by_comp)
+
+    def _select_batch(
+        self, batch: Sequence[Sequence[int]], deduped: bool = False
+    ) -> List[object]:
+        csr = self._csr_indexes()
+        n_keys = self._num_keys
+        n_pages = len(self._inv_pages)
+        num_queries = len(batch)
+        flat: List[int] = []
+        for q in batch:
+            flat.extend(q)
+        raw = np.asarray(flat, dtype=np.int64)
+        if len(raw) and (int(raw.min()) < 0 or int(raw.max()) >= n_keys):
+            bad = raw[(raw < 0) | (raw >= n_keys)]
+            raise ServingError(
+                f"key {int(bad[0])} is not in the embedding table"
+            )
+        lens = np.fromiter(
+            (len(q) for q in batch), dtype=np.int64, count=num_queries
+        )
+        qstart = np.zeros(num_queries, dtype=np.int64)
+        np.cumsum(lens[:-1], out=qstart[1:])
+        qid = np.repeat(np.arange(num_queries, dtype=np.int64), lens)
+        counts = np.asarray(self._counts, dtype=np.int64)[raw]
+        max_count = max(self._counts) + 1
+        # One composite int per key orders the whole batch like the
+        # reference's per-query sorted(key=(replica_count, key)).
+        comp = (qid * max_count + counts) * n_keys + raw
+        order = np.argsort(comp, kind="quicksort")
+        csorted = comp[order]
+        if len(csorted) > 1 and bool((csorted[1:] == csorted[:-1]).any()):
+            # Duplicate keys inside a query collide in the composite key;
+            # dedupe (first occurrence, order-irrelevant after the sort)
+            # and rerun.  Distinct keys can never collide again.
+            if deduped:  # pragma: no cover - dedupe removes all collisions
+                raise ServingError("duplicate keys survived deduplication")
+            return self._select_batch(
+                [list(dict.fromkeys(q)) for q in batch], deduped=True
+            )
+        # porank: each key's position in its query's process order — its
+        # bit index in the query's cover masks.
+        porank = np.empty(len(raw), dtype=np.int64)
+        porank[order] = np.arange(len(raw), dtype=np.int64) - qstart[
+            qid[order]
+        ]
+        # Page cover masks: for every page holding a query key (via the
+        # full, never-shrunk forward map), add the key's bit.  Exact in
+        # float64 because every (query, page, bit) contribution is a
+        # distinct power of two and totals stay under 2**53.
+        full = csr.full_forward
+        pflat, pln = _ragged_gather(full.indptr, full.indices, raw)
+        weights = np.exp2(porank.astype(np.float64))
+        page_cell = np.repeat(qid * n_pages, pln) + pflat
+        masks = np.bincount(
+            page_cell,
+            weights=np.repeat(weights, pln),
+            minlength=num_queries * n_pages,
+        )
+        # Candidate lists (shrunk forward index) gathered in process order.
+        okeys = raw[order]
+        cflat, cln = _ragged_gather(
+            csr.forward.indptr, csr.forward.indices, okeys
+        )
+        cand_cell = np.repeat(qid[order] * n_pages, cln) + cflat
+        cand_masks = masks[cand_cell].astype(np.int64).tolist()
+        cand_pages = cflat.tolist()
+        cand_offsets = np.zeros(len(okeys) + 1, dtype=np.int64)
+        np.cumsum(cln, out=cand_offsets[1:])
+        cand_offsets = cand_offsets.tolist()
+        okeys_list = okeys.tolist()
+        outcomes: List[object] = []
+        kbase = 0
+        for width in lens.tolist():
+            rem = (1 << width) - 1
+            pages: List[int] = []
+            step_masks: List[int] = []
+            step_cands: List[int] = []
+            while rem:
+                bit = rem & -rem
+                j = kbase + bit.bit_length() - 1
+                c0 = cand_offsets[j]
+                c1 = cand_offsets[j + 1]
+                best_mask = cand_masks[c0] & rem
+                best_page = cand_pages[c0]
+                if c1 - c0 > 1:
+                    best_count = best_mask.bit_count()
+                    for t in range(c0 + 1, c1):
+                        mask = cand_masks[t] & rem
+                        count = mask.bit_count()
+                        if count > best_count:
+                            best_page = cand_pages[t]
+                            best_mask = mask
+                            best_count = count
+                rem ^= best_mask
+                pages.append(best_page)
+                step_masks.append(best_mask)
+                step_cands.append(c1 - c0)
+            outcomes.append(
+                FastSelectionOutcome(
+                    pages=pages,
+                    masks=step_masks,
+                    candidate_counts=step_cands,
+                    kbase=kbase,
+                    okeys=okeys_list,
+                    sorted_keys=width,
+                )
+            )
+            kbase += width
+        return outcomes
+
+
+class FastGreedySelector(_FastSelectorBase):
+    """Greedy set cover on the stamp array with incremental candidates.
+
+    Produces outcomes identical to
+    :class:`~repro.serving.selection.GreedySetCoverSelector`.
+    """
+
+    def select(self, keys: Sequence[int]) -> SelectionOutcome:
+        distinct, epoch = self._stamp_query(keys)
+        stamp = self._stamp
+        entries = self._entries
+        inv_pages = self._inv_pages
+        sorted_keys_of = self.invert.sorted_keys_of
+        support = {}
+        for key in distinct:
+            for page in entries[key]:
+                support[page] = support.get(page, 0) + 1
+        uncovered = len(distinct)
+        steps: List[SelectionStep] = []
+        while uncovered:
+            num_candidates = len(support)
+            best_page = -1
+            best_count = 0
+            for page in sorted(support):
+                count = 0
+                for k in inv_pages[page]:
+                    if stamp[k] == epoch:
+                        count += 1
+                if count > best_count:
+                    best_page = page
+                    best_count = count
+            if best_page < 0:
+                stranded = sorted(
+                    k for k in distinct if stamp[k] == epoch
+                )
+                raise ServingError(f"keys {stranded[:5]} are on no page")
+            covered = []
+            for k in sorted_keys_of(best_page):
+                if stamp[k] == epoch:
+                    stamp[k] = 0
+                    covered.append(k)
+                    for page in entries[k]:
+                        count = support[page] - 1
+                        if count:
+                            support[page] = count
+                        else:
+                            del support[page]
+            uncovered -= len(covered)
+            steps.append(
+                SelectionStep(
+                    page_id=best_page,
+                    covered=tuple(covered),
+                    candidates_examined=num_candidates,
+                )
+            )
+        return SelectionOutcome(tuple(steps), sorted_keys=0)
+
+
+def _ragged_gather(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate CSR rows ``rows``; returns (values, per-row lengths)."""
+    starts = indptr[rows]
+    lengths = indptr[rows + 1] - starts
+    total = int(lengths.sum())
+    cum = np.cumsum(lengths)
+    idx = (
+        np.arange(total, dtype=np.int64)
+        - np.repeat(cum - lengths, lengths)
+        + np.repeat(starts, lengths)
+    )
+    return indices[idx], lengths

@@ -4,13 +4,17 @@ A selector answers: *given the distinct keys of one query, which SSD pages
 do we read, in what order?*  Besides the page list, selectors report how
 many candidate pages each step examined — the quantity the CPU cost model
 charges for, and the thing MaxEmbed's one-pass algorithm bounds.
+
+The classes here are the *reference* implementations: readable set
+algebra, and the oracle that :mod:`repro.serving.fast_selection` must
+match outcome-for-outcome.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from ..errors import ServingError
 from ..placement import ForwardIndex, InvertIndex
@@ -34,7 +38,14 @@ class SelectionStep:
 
 @dataclass(frozen=True)
 class SelectionOutcome:
-    """Full selection for one query."""
+    """Full selection for one query.
+
+    The flat accessors (:attr:`pages`, :attr:`candidate_counts`,
+    :attr:`covered_counts`, :attr:`num_steps`) are the interface the
+    executors and cost model consume; fast selectors provide outcome
+    objects that serve them from arrays without building
+    :class:`SelectionStep` tuples until ``.steps`` is actually read.
+    """
 
     steps: Tuple[SelectionStep, ...]
     sorted_keys: int  # keys put through the replica-count sort (0 = no sort)
@@ -43,6 +54,21 @@ class SelectionOutcome:
     def pages(self) -> List[int]:
         """Chosen page ids in read order."""
         return [s.page_id for s in self.steps]
+
+    @property
+    def candidate_counts(self) -> List[int]:
+        """Candidate pages examined at each step, in read order."""
+        return [s.candidates_examined for s in self.steps]
+
+    @property
+    def covered_counts(self) -> List[int]:
+        """Newly covered keys per step, in read order."""
+        return [len(s.covered) for s in self.steps]
+
+    @property
+    def num_steps(self) -> int:
+        """Number of page reads chosen."""
+        return len(self.steps)
 
     @property
     def total_candidates(self) -> int:
@@ -68,6 +94,16 @@ class Selector(ABC):
     def select(self, keys: Sequence[int]) -> SelectionOutcome:
         """Choose pages covering all ``keys`` (distinct, SSD-resident)."""
 
+    def select_many(
+        self, queries: Sequence[Sequence[int]]
+    ) -> List[SelectionOutcome]:
+        """Select for a batch of queries.
+
+        The reference implementation is a straight loop; fast selectors
+        override this to amortize the per-query sort across the batch.
+        """
+        return [self.select(keys) for keys in queries]
+
     def _check_keys(self, keys: Sequence[int]) -> List[int]:
         distinct = list(dict.fromkeys(keys))
         for k in distinct:
@@ -83,21 +119,29 @@ class GreedySetCoverSelector(Selector):
     queried key and picks the one covering the most.  Near-optimal
     (ln-approximation) but each step costs O(|S|) set intersections, which
     is why the paper measures selection at >56 % of end-to-end latency.
+
+    The candidate set is maintained incrementally: each page carries a
+    support count (how many still-uncovered keys list it in the forward
+    index) and leaves the set when the count hits zero — the set's
+    contents are identical to a from-scratch rebuild each step, without
+    re-walking every remaining key's page list.
     """
 
     def select(self, keys: Sequence[int]) -> SelectionOutcome:
         remaining = set(self._check_keys(keys))
+        pages_of = self.forward.pages_of
+        key_set = self.invert.key_set
+        support: Dict[int, int] = {}
+        for key in remaining:
+            for page in pages_of(key):
+                support[page] = support.get(page, 0) + 1
         steps: List[SelectionStep] = []
         while remaining:
-            candidates = {
-                page
-                for key in remaining
-                for page in self.forward.pages_of(key)
-            }
+            num_candidates = len(support)
             best_page = -1
             best_cover: Set[int] = set()
-            for page in sorted(candidates):
-                cover = self.invert.key_set(page) & remaining
+            for page in sorted(support):
+                cover = key_set(page) & remaining
                 if len(cover) > len(best_cover):
                     best_page = page
                     best_cover = cover
@@ -106,11 +150,18 @@ class GreedySetCoverSelector(Selector):
                     f"keys {sorted(remaining)[:5]} are on no page"
                 )
             remaining -= best_cover
+            for key in best_cover:
+                for page in pages_of(key):
+                    count = support[page] - 1
+                    if count:
+                        support[page] = count
+                    else:
+                        del support[page]
             steps.append(
                 SelectionStep(
                     page_id=best_page,
                     covered=tuple(sorted(best_cover)),
-                    candidates_examined=len(candidates),
+                    candidates_examined=num_candidates,
                 )
             )
         return SelectionOutcome(tuple(steps), sorted_keys=0)
@@ -127,32 +178,43 @@ class OnePassSelector(Selector):
     Index, ❹ emit the read and drop the covered keys.
 
     Each key contributes at most ``k`` candidate examinations (``k`` =
-    index limit), giving O(|S| + |Q|) set operations per query.
+    index limit), giving O(|S| + |Q|) set operations per query.  The sort
+    key reads the memoized replica-count table, and covered keys are
+    emitted by filtering the page's presorted key tuple against the cover
+    set — ascending key order with no per-step ``sorted()`` call.
     """
 
     def select(self, keys: Sequence[int]) -> SelectionOutcome:
         distinct = self._check_keys(keys)
-        ordered = sorted(
-            distinct, key=lambda k: (self.forward.replica_count(k), k)
-        )
+        counts = self.forward.replica_counts()
+        span = self.forward.num_keys
+        # counts[k] * span + k orders exactly like (counts[k], k) since
+        # k < span, without allocating a tuple per key.
+        ordered = sorted(distinct, key=lambda k: counts[k] * span + k)
         remaining = set(ordered)
+        pages_of = self.forward.pages_of
+        key_set = self.invert.key_set
+        sorted_keys_of = self.invert.sorted_keys_of
         steps: List[SelectionStep] = []
         for key in ordered:
             if key not in remaining:
                 continue  # hitchhiked on an earlier read — skip
-            candidates = self.forward.pages_of(key)
+            candidates = pages_of(key)
             best_page = candidates[0]
-            best_cover = self.invert.key_set(best_page) & remaining
+            best_cover = key_set(best_page) & remaining
             for page in candidates[1:]:
-                cover = self.invert.key_set(page) & remaining
+                cover = key_set(page) & remaining
                 if len(cover) > len(best_cover):
                     best_page = page
                     best_cover = cover
+            covered = tuple(
+                k for k in sorted_keys_of(best_page) if k in best_cover
+            )
             remaining -= best_cover
             steps.append(
                 SelectionStep(
                     page_id=best_page,
-                    covered=tuple(sorted(best_cover)),
+                    covered=covered,
                     candidates_examined=len(candidates),
                 )
             )

@@ -1,0 +1,242 @@
+"""Differential tests: fast selectors vs the reference oracle.
+
+The fast selectors' contract is *bit-identical outcomes*: same pages in
+the same order, same covered tuples, same candidate counts, same
+sorted-keys charge.  These tests enforce the contract over hand-built
+layouts, hypothesis-generated random layouts (all shrink limits, query
+shapes including single-key, fully-replicated, duplicate-laden, and
+wider-than-52-key queries), and both the per-query and batched entry
+points.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import PageLayout, ServingError
+from repro.placement import build_indexes
+from repro.serving import (
+    FastGreedySelector,
+    FastOnePassSelector,
+    GreedySetCoverSelector,
+    OnePassSelector,
+)
+from repro.serving.fast_selection import MASK_KEY_LIMIT
+
+
+def assert_same_outcome(fast, ref):
+    assert fast.pages == ref.pages
+    assert fast.candidate_counts == ref.candidate_counts
+    assert fast.covered_counts == ref.covered_counts
+    assert fast.num_steps == ref.num_steps
+    assert fast.total_candidates == ref.total_candidates
+    assert fast.sorted_keys == ref.sorted_keys
+    assert fast.steps == ref.steps
+    assert fast.covered_keys() == ref.covered_keys()
+
+
+@pytest.fixture
+def layout():
+    return PageLayout(
+        num_keys=8,
+        capacity=4,
+        pages=[
+            (0, 1, 2, 3),
+            (4, 5, 6, 7),
+            (0, 4, 5),
+            (1, 6),
+        ],
+        num_base_pages=2,
+    )
+
+
+def selector_pairs(layout, limit=None):
+    forward, invert = build_indexes(layout, limit=limit)
+    yield (
+        FastOnePassSelector(forward, invert),
+        OnePassSelector(forward, invert),
+    )
+    yield (
+        FastGreedySelector(forward, invert),
+        GreedySetCoverSelector(forward, invert),
+    )
+
+
+QUERIES = [
+    [0],
+    [3],
+    [0, 1, 4, 6],
+    [0, 4, 5],
+    [5, 5, 4],
+    [3, 3, 3],
+    [0, 1, 2, 3, 4, 5, 6, 7],
+    [7, 6, 5, 4, 3, 2, 1, 0],
+]
+
+
+class TestFixtureParity:
+    @pytest.mark.parametrize("limit", [None, 1, 2])
+    def test_all_queries_match(self, layout, limit):
+        for fast, ref in selector_pairs(layout, limit):
+            for keys in QUERIES:
+                assert_same_outcome(fast.select(keys), ref.select(keys))
+
+    def test_select_many_matches_reference_loop(self, layout):
+        for fast, ref in selector_pairs(layout):
+            fast_outcomes = fast.select_many(QUERIES)
+            ref_outcomes = ref.select_many(QUERIES)
+            for got, want in zip(fast_outcomes, ref_outcomes):
+                assert_same_outcome(got, want)
+
+    def test_rejects_unknown_key(self, layout):
+        for fast, _ in selector_pairs(layout):
+            with pytest.raises(ServingError):
+                fast.select([99])
+            with pytest.raises(ServingError):
+                fast.select([-1])
+
+    def test_select_many_rejects_unknown_key(self, layout):
+        forward, invert = build_indexes(layout)
+        fast = FastOnePassSelector(forward, invert)
+        with pytest.raises(ServingError):
+            fast.select_many([[0, 1], [99]])
+
+    def test_stamp_state_survives_many_queries(self, layout):
+        # Epoch reuse: no cross-query contamination over repeated selects.
+        for fast, ref in selector_pairs(layout):
+            for _ in range(3):
+                for keys in QUERIES:
+                    assert_same_outcome(fast.select(keys), ref.select(keys))
+
+
+class TestFullyReplicated:
+    def test_every_key_on_every_page(self):
+        layout = PageLayout(
+            num_keys=3,
+            capacity=4,
+            pages=[(0, 1, 2), (2, 1, 0), (1, 0, 2)],
+            num_base_pages=1,
+        )
+        for limit in (None, 1, 2):
+            for fast, ref in selector_pairs(layout, limit):
+                for keys in ([0], [0, 1, 2], [2, 0], [1, 1, 1]):
+                    assert_same_outcome(fast.select(keys), ref.select(keys))
+
+
+class TestWideQueries:
+    """Queries wider than the packed-mask limit use the stamp-array path."""
+
+    def make_layout(self, n=60, capacity=8):
+        pages = [
+            tuple(range(start, min(start + capacity, n)))
+            for start in range(0, n, capacity)
+        ]
+        base = len(pages)
+        pages.append(tuple(range(0, capacity)))  # one replica page
+        return PageLayout(n, capacity, pages, num_base_pages=base)
+
+    def test_wide_query_matches(self):
+        layout = self.make_layout()
+        wide = list(range(60))
+        assert len(wide) > MASK_KEY_LIMIT
+        for fast, ref in selector_pairs(layout):
+            assert_same_outcome(fast.select(wide), ref.select(wide))
+
+    def test_select_many_mixed_widths(self):
+        layout = self.make_layout()
+        queries = [list(range(60)), [0, 1], list(range(55)), [59]]
+        forward, invert = build_indexes(layout, limit=2)
+        fast = FastOnePassSelector(forward, invert)
+        ref = OnePassSelector(forward, invert)
+        for got, want in zip(
+            fast.select_many(queries), ref.select_many(queries)
+        ):
+            assert_same_outcome(got, want)
+
+
+class TestLazyOutcome:
+    def test_flat_accessors_agree_with_steps(self, layout):
+        forward, invert = build_indexes(layout)
+        fast = FastOnePassSelector(forward, invert)
+        (outcome,) = fast.select_many([[0, 1, 4, 6]])
+        # Read flat accessors BEFORE steps to prove they don't depend on
+        # materialization.
+        pages = outcome.pages
+        counts = outcome.candidate_counts
+        covered = outcome.covered_counts
+        steps = outcome.steps
+        assert pages == [s.page_id for s in steps]
+        assert counts == [s.candidates_examined for s in steps]
+        assert covered == [len(s.covered) for s in steps]
+        assert outcome.steps is steps  # memoized
+
+
+# -- hypothesis: random layouts, limits, and query shapes -----------------------
+
+
+@st.composite
+def layouts_queries_limits(draw):
+    n = draw(st.integers(min_value=2, max_value=24))
+    capacity = draw(st.sampled_from([2, 4, 8]))
+    pages = [
+        tuple(range(start, min(start + capacity, n)))
+        for start in range(0, n, capacity)
+    ]
+    num_base = len(pages)
+    extra = draw(st.integers(min_value=0, max_value=4))
+    for _ in range(extra):
+        size = draw(st.integers(min_value=1, max_value=min(capacity, n)))
+        page = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                min_size=size,
+                max_size=size,
+                unique=True,
+            )
+        )
+        pages.append(tuple(page))
+    layout = PageLayout(n, capacity, pages, num_base_pages=num_base)
+    num_queries = draw(st.integers(min_value=1, max_value=6))
+    queries = []
+    for _ in range(num_queries):
+        size = draw(st.integers(min_value=1, max_value=min(12, n)))
+        queries.append(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=n - 1),
+                    min_size=size,
+                    max_size=size,
+                    unique=draw(st.booleans()),
+                )
+            )
+        )
+    limit = draw(st.sampled_from([None, 1, 2, 5]))
+    return layout, queries, limit
+
+
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(data=layouts_queries_limits())
+def test_fast_selectors_match_reference(data):
+    layout, queries, limit = data
+    forward, invert = build_indexes(layout, limit=limit)
+    pairs = [
+        (
+            FastOnePassSelector(forward, invert),
+            OnePassSelector(forward, invert),
+        ),
+        (
+            FastGreedySelector(forward, invert),
+            GreedySetCoverSelector(forward, invert),
+        ),
+    ]
+    for fast, ref in pairs:
+        for keys in queries:
+            assert_same_outcome(fast.select(keys), ref.select(keys))
+        for got, want in zip(
+            fast.select_many(queries), ref.select_many(queries)
+        ):
+            assert_same_outcome(got, want)
