@@ -34,14 +34,24 @@ from .core import MaxEmbedConfig, MaxEmbedStore, build_offline_layout
 from .errors import (
     CacheError,
     ConfigError,
+    CorruptArtifactError,
+    DeviceFault,
     ExperimentError,
     HypergraphError,
     PartitionError,
     PlacementError,
     ReproError,
     ServingError,
+    ShardUnavailableError,
     StorageError,
     WorkloadError,
+)
+from .faults import (
+    BreakerConfig,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultySsd,
 )
 from .hypergraph import Hypergraph, build_hypergraph, build_weighted_hypergraph
 from .metrics import evaluate_placement, read_amplification
@@ -67,6 +77,7 @@ from .serving import (
     GreedySetCoverSelector,
     OnePassSelector,
     PipelinedExecutor,
+    RetryPolicy,
     SerialExecutor,
     ServingEngine,
     ServingReport,
@@ -137,6 +148,13 @@ __all__ = [
     "GreedySetCoverSelector",
     "PipelinedExecutor",
     "SerialExecutor",
+    "RetryPolicy",
+    # faults
+    "FaultPlan",
+    "FaultInjector",
+    "FaultySsd",
+    "BreakerConfig",
+    "CircuitBreaker",
     # ssd
     "SsdProfile",
     "SimulatedSsd",
@@ -168,4 +186,7 @@ __all__ = [
     "ServingError",
     "WorkloadError",
     "ExperimentError",
+    "DeviceFault",
+    "CorruptArtifactError",
+    "ShardUnavailableError",
 ]

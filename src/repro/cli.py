@@ -121,6 +121,25 @@ def _add_serve(subparsers) -> None:
         help="serve a sharded cluster layout (inferred from the layout "
         "file when omitted; must match its shard count when given)",
     )
+    p.add_argument(
+        "--fault-plan",
+        default=None,
+        help="inject deterministic device faults: a JSON plan file or an "
+        "inline spec like 'seed=7,read_error=0.05,brownout=1000:5000'",
+    )
+    p.add_argument(
+        "--retry-max",
+        type=int,
+        default=2,
+        help="retries per failed read before replica recovery kicks in",
+    )
+    p.add_argument(
+        "--shard-deadline-us",
+        type=float,
+        default=None,
+        help="per-shard gather deadline in simulated microseconds; a "
+        "fragment slower than this is dropped (its keys go missing)",
+    )
 
 
 def _add_experiments(subparsers) -> None:
@@ -227,6 +246,20 @@ def _cmd_diagnose(args) -> int:
     return 0
 
 
+def _fault_options(args) -> dict:
+    """EngineConfig kwargs for the serve command's fault/recovery flags."""
+    from .faults import FaultPlan
+    from .serving import RetryPolicy
+
+    options: dict = {}
+    if getattr(args, "fault_plan", None):
+        options["fault_plan"] = FaultPlan.from_spec(args.fault_plan)
+        options["retry"] = RetryPolicy(max_retries=args.retry_max)
+    if getattr(args, "shard_deadline_us", None) is not None:
+        options["shard_deadline_us"] = args.shard_deadline_us
+    return options
+
+
 def _cmd_serve_cluster(args, trace) -> int:
     from .cluster import ClusterEngine, load_sharded_layout
     from .serving import EngineConfig
@@ -260,6 +293,7 @@ def _cmd_serve_cluster(args, trace) -> int:
             fast_selection=args.selection_path == "fast",
             executor=args.executor,
             threads=args.threads,
+            **_fault_options(args),
         ),
     )
     cluster = engine.serve_trace(trace)
@@ -291,18 +325,40 @@ def _cmd_serve(args) -> int:
     ):
         return _cmd_serve_cluster(args, trace)
     layout = load_layout(args.layout)
-    config = MaxEmbedConfig(
-        spec=EmbeddingSpec(dim=args.dim),
-        cache_ratio=args.cache_ratio,
-        cache_policy=args.cache_policy,
-        index_limit=args.index_limit,
-        selector=args.selector,
-        fast_selection=args.selection_path == "fast",
-        executor=args.executor,
-        threads=args.threads,
-    )
-    store = MaxEmbedStore(layout, config)
-    report = store.serve_trace(trace)
+    fault_options = _fault_options(args)
+    fault_options.pop("shard_deadline_us", None)  # cluster-only knob
+    if fault_options:
+        from .serving import EngineConfig, ServingEngine
+
+        engine = ServingEngine(
+            layout,
+            EngineConfig(
+                spec=EmbeddingSpec(dim=args.dim),
+                cache_ratio=args.cache_ratio,
+                cache_policy=args.cache_policy,
+                index_limit=args.index_limit,
+                selector=args.selector,
+                fast_selection=args.selection_path == "fast",
+                executor=args.executor,
+                threads=args.threads,
+                **fault_options,
+            ),
+        )
+        report = engine.serve_trace(trace)
+    else:
+        engine = None
+        config = MaxEmbedConfig(
+            spec=EmbeddingSpec(dim=args.dim),
+            cache_ratio=args.cache_ratio,
+            cache_policy=args.cache_policy,
+            index_limit=args.index_limit,
+            selector=args.selector,
+            fast_selection=args.selection_path == "fast",
+            executor=args.executor,
+            threads=args.threads,
+        )
+        store = MaxEmbedStore(layout, config)
+        report = store.serve_trace(trace)
     print(
         format_mapping(
             "serving report",
@@ -319,6 +375,21 @@ def _cmd_serve(args) -> int:
             },
         )
     )
+    if engine is not None:
+        fault_report = {
+            "retries": report.total_retries,
+            "failed_reads": report.total_failed_reads,
+            "recovered_keys": report.total_recovered_keys,
+            "missing_keys": report.total_missing_keys,
+            "degraded_queries": report.degraded_queries,
+            "coverage": round(report.coverage(), 6),
+        }
+        counters = engine.fault_counters
+        if counters:
+            for kind, count in sorted(counters.items()):
+                fault_report[f"injected_{kind}"] = count
+        print()
+        print(format_mapping("fault & recovery report", fault_report))
     return 0
 
 

@@ -14,7 +14,13 @@ import json
 from pathlib import Path
 from typing import Union
 
-from ..errors import PlacementError
+from ..errors import CorruptArtifactError, PlacementError
+from ..integrity import (
+    MAGIC_SHARDED_LAYOUT,
+    peek_payload,
+    unwrap_document,
+    wrap_document,
+)
 from ..placement import PageLayout
 from .pipeline import ShardedLayout
 from .planner import ShardPlan
@@ -25,7 +31,7 @@ _FIELDS = ("num_shards", "strategy", "assignment", "shards")
 
 
 def save_sharded_layout(sharded: ShardedLayout, path: PathLike) -> None:
-    """Write ``sharded`` to ``path`` as JSON."""
+    """Write ``sharded`` to ``path`` as checksummed JSON."""
     document = {
         "num_shards": sharded.num_shards,
         "strategy": sharded.plan.strategy,
@@ -40,15 +46,32 @@ def save_sharded_layout(sharded: ShardedLayout, path: PathLike) -> None:
             for layout in sharded.layouts
         ],
     }
-    Path(path).write_text(json.dumps(document))
+    Path(path).write_text(
+        json.dumps(wrap_document(MAGIC_SHARDED_LAYOUT, document))
+    )
 
 
 def load_sharded_layout(path: PathLike) -> ShardedLayout:
-    """Read a sharded layout previously written by :func:`save_sharded_layout`."""
+    """Read a sharded layout previously written by :func:`save_sharded_layout`.
+
+    Verifies the integrity envelope (raising
+    :class:`~repro.errors.CorruptArtifactError` on any mismatch);
+    pre-envelope documents load with a warning.
+    """
     try:
-        document = json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as exc:
+        raw = Path(path).read_text()
+    except OSError as exc:
         raise PlacementError(f"cannot load sharded layout from {path}: {exc}")
+    try:
+        document = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise CorruptArtifactError(
+            f"cannot load sharded layout from {path}: not valid JSON "
+            f"(truncated or corrupted?): {exc}"
+        )
+    document = unwrap_document(
+        MAGIC_SHARDED_LAYOUT, document, source=f"sharded layout file {path}"
+    )
     missing = [f for f in _FIELDS if f not in document]
     if missing:
         raise PlacementError(
@@ -79,9 +102,16 @@ def load_sharded_layout(path: PathLike) -> ShardedLayout:
 
 
 def is_sharded_layout_file(path: PathLike) -> bool:
-    """True when ``path`` holds a sharded (multi-shard) layout document."""
+    """True when ``path`` holds a sharded (multi-shard) layout document.
+
+    Format sniffing only: looks through the integrity envelope (when
+    present) without verifying it, and accepts legacy unwrapped files.
+    """
     try:
         document = json.loads(Path(path).read_text())
     except (OSError, json.JSONDecodeError):
+        return False
+    document = peek_payload(document)
+    if not isinstance(document, dict):
         return False
     return all(f in document for f in _FIELDS)

@@ -15,15 +15,35 @@ dispatching in trace order to the earliest-free worker.  All shard
 devices advance on the shared simulated clock, so cross-query contention
 on a hot shard emerges naturally — that is precisely the imbalance the
 :class:`~repro.cluster.stats.ClusterReport` measures.
+
+Fault-domain behaviour (this layer treats a whole shard as the failure
+unit; page-level faults are handled inside each shard engine by
+:mod:`repro.serving.recovery`):
+
+* **deadline** — with ``config.shard_deadline_us`` set, a fragment whose
+  simulated latency exceeds the deadline is timed out: its keys are
+  reported missing, the fragment charges exactly the deadline, and the
+  gather proceeds with the surviving shards (partial gather);
+* **breaker** — with ``config.breaker`` set, each shard gets a
+  :class:`~repro.faults.CircuitBreaker`.  Timeouts and worker exceptions
+  record failures; a tripped breaker skips the shard at dispatch time
+  (keys missing, zero latency) until its recovery timeout lets a probe
+  through.  Breakers also switch the router to *resilient* gathering:
+  a worker exception degrades the fragment instead of failing the query;
+* **strict mode** (no breaker) — a worker exception cancels the query's
+  outstanding fragment futures and raises
+  :class:`~repro.errors.ShardUnavailableError` naming the failing shard.
 """
 
 from __future__ import annotations
 
 import heapq
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Tuple
 
-from ..errors import ServingError
+from ..errors import ServingError, ShardUnavailableError
+from ..faults import CircuitBreaker
 from ..placement import PageLayout
 from ..serving import EngineConfig, ServingEngine
 from ..serving.stats import (
@@ -34,6 +54,12 @@ from ..serving.stats import (
 from ..types import Query, QueryTrace
 from .pipeline import ShardedLayout
 from .stats import ClusterReport
+
+#: Per-shard gather outcomes recorded by :meth:`ClusterEngine._serve_scattered`.
+SHARD_OK = "ok"
+SHARD_TIMEOUT = "timeout"
+SHARD_SKIPPED = "skipped"
+SHARD_ERROR = "error"
 
 
 class ClusterEngine:
@@ -49,6 +75,12 @@ class ClusterEngine:
             ServingEngine(layout, self.config)
             for layout in sharded.layouts
         ]
+        self.breakers: Optional[List[CircuitBreaker]] = None
+        if self.config.breaker is not None:
+            self.breakers = [
+                CircuitBreaker(self.config.breaker)
+                for _ in range(self.num_shards)
+            ]
         workers = self.config.scatter_workers
         if workers is None:
             workers = self.num_shards if self.num_shards > 1 else 0
@@ -60,17 +92,36 @@ class ClusterEngine:
             if workers > 1
             else None
         )
+        self._closed = False
 
     @property
     def num_shards(self) -> int:
         """Shard count."""
         return self.plan.num_shards
 
+    @property
+    def resilient(self) -> bool:
+        """True when worker exceptions degrade instead of raising."""
+        return self.breakers is not None
+
     def close(self) -> None:
-        """Shut down the scatter worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        """Shut down the scatter worker pool (idempotent).
+
+        Safe to call any number of times, and safe concurrently with an
+        in-flight ``serve_query``: the serve falls back to the serial
+        scatter path once the pool is gone.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            # A scatter worker may itself trigger close(); joining the
+            # calling thread would raise, so only wait from outsiders.
+            # (Workers are identified by name: the pool registers threads
+            # in _threads only after they start, so identity is racy.)
+            wait = not threading.current_thread().name.startswith("scatter")
+            pool.shutdown(wait=wait)
 
     # -- layout management -----------------------------------------------------
 
@@ -82,7 +133,11 @@ class ClusterEngine:
         The other shards keep serving untouched — this is the cluster
         version of :meth:`~repro.core.deploy.LayoutManager.swap`, applied
         shard by shard so a rolling re-deploy never takes the whole
-        cluster offline.
+        cluster offline.  The new engine is fully constructed *before*
+        the shard is touched, so any failure (invalid layout, spec
+        mismatch) leaves the previous layout serving; on success the
+        shard's circuit breaker, if any, is reset — the replacement
+        device has no failure history.
         """
         if not 0 <= shard < self.num_shards:
             raise ServingError(
@@ -94,11 +149,13 @@ class ClusterEngine:
                 f"new layout covers {layout.num_keys} keys, shard {shard} "
                 f"owns {expected}"
             )
-        old_cache = self.engines[shard].cache
-        self.engines[shard] = ServingEngine(layout, self.config)
+        replacement = ServingEngine(layout, self.config)
         if keep_cache:
-            self.engines[shard].cache = old_cache
-        return self.engines[shard]
+            replacement.cache = self.engines[shard].cache
+        self.engines[shard] = replacement
+        if self.breakers is not None:
+            self.breakers[shard] = CircuitBreaker(self.config.breaker)
+        return replacement
 
     # -- scatter / gather -------------------------------------------------------
 
@@ -114,36 +171,147 @@ class ClusterEngine:
             for shard, keys in fragments.items()
         }
 
+    @staticmethod
+    def _unserved_result(
+        fragment: Query, start_us: float, finish_us: float
+    ) -> QueryResult:
+        """A fully degraded fragment: every key missing, nothing read."""
+        n = len(fragment.unique_keys())
+        return QueryResult(
+            requested_keys=n,
+            cache_hits=0,
+            ssd_keys=0,
+            pages_read=0,
+            valid_per_read=(),
+            start_us=start_us,
+            finish_us=finish_us,
+            missing_keys=n,
+        )
+
+    def _gather(self, dispatch, start_us: float):
+        """Run the dispatched fragments; return shard → result-or-exception.
+
+        Uses the scatter pool when available; in strict mode the first
+        worker exception cancels every outstanding future and re-raises
+        as :class:`ShardUnavailableError` naming the shard.  A pool torn
+        down mid-serve (``close`` racing a query) falls back to the
+        serial path for the remaining fragments.
+        """
+        raw: Dict[int, object] = {}
+        pool = self._pool
+        if pool is not None and len(dispatch) > 1:
+            futures = []
+            try:
+                for shard, fragment in dispatch:
+                    futures.append(
+                        (
+                            shard,
+                            pool.submit(
+                                self.engines[shard].serve_query,
+                                fragment,
+                                start_us,
+                            ),
+                        )
+                    )
+            except RuntimeError:
+                # close() won the race; whatever was submitted still
+                # completes below, the rest run serially.
+                pass
+            submitted = {shard for shard, _ in futures}
+            failure: "Optional[Tuple[int, BaseException]]" = None
+            for shard, future in futures:
+                if failure is not None:
+                    future.cancel()
+                    continue
+                try:
+                    raw[shard] = future.result()
+                except Exception as exc:  # noqa: BLE001 - rewrapped below
+                    if self.resilient:
+                        raw[shard] = exc
+                    else:
+                        failure = (shard, exc)
+            if failure is not None:
+                shard, exc = failure
+                raise ShardUnavailableError(
+                    f"shard {shard} failed serving a scattered fragment: "
+                    f"{exc}",
+                    shard=shard,
+                ) from exc
+            dispatch = [
+                (shard, fragment)
+                for shard, fragment in dispatch
+                if shard not in submitted
+            ]
+        for shard, fragment in dispatch:
+            try:
+                raw[shard] = self.engines[shard].serve_query(
+                    fragment, start_us
+                )
+            except Exception as exc:  # noqa: BLE001 - rewrapped below
+                if self.resilient:
+                    raw[shard] = exc
+                else:
+                    raise ShardUnavailableError(
+                        f"shard {shard} failed serving a scattered "
+                        f"fragment: {exc}",
+                        shard=shard,
+                    ) from exc
+        return raw
+
     def _serve_scattered(
         self, query: Query, start_us: float
-    ) -> Tuple[QueryResult, Dict[int, QueryResult]]:
-        """Serve one query; return (gathered result, per-shard results)."""
+    ) -> Tuple[QueryResult, Dict[int, QueryResult], Dict[int, str]]:
+        """Serve one query; return (gathered, per-shard results, events).
+
+        ``events`` maps each touched shard to one of :data:`SHARD_OK`,
+        :data:`SHARD_TIMEOUT`, :data:`SHARD_SKIPPED` (breaker open) or
+        :data:`SHARD_ERROR` (resilient-mode worker exception).
+        """
         fragments = self.scatter(query)
         items = sorted(fragments.items())
-        if self._pool is not None and len(items) > 1:
-            # Shard engines are fully independent (own cache, device, and
-            # selector state), so per-shard selection runs concurrently;
-            # gathering in shard order keeps the result deterministic.
-            futures = [
-                self._pool.submit(
-                    self.engines[shard].serve_query, fragment, start_us
+        sub_results: Dict[int, QueryResult] = {}
+        events: Dict[int, str] = {}
+        dispatch = []
+        for shard, fragment in items:
+            breaker = self.breakers[shard] if self.breakers else None
+            if breaker is not None and not breaker.allow(start_us):
+                sub_results[shard] = self._unserved_result(
+                    fragment, start_us, start_us
                 )
-                for shard, fragment in items
-            ]
-            sub_results = {
-                shard: future.result()
-                for (shard, _), future in zip(items, futures)
-            }
-        else:
-            sub_results = {
-                shard: self.engines[shard].serve_query(fragment, start_us)
-                for shard, fragment in items
-            }
-        return merge_shard_results(list(sub_results.values())), sub_results
+                events[shard] = SHARD_SKIPPED
+            else:
+                dispatch.append((shard, fragment))
+        raw = self._gather(dispatch, start_us)
+        deadline = self.config.shard_deadline_us
+        for shard, fragment in dispatch:
+            breaker = self.breakers[shard] if self.breakers else None
+            outcome = raw[shard]
+            if isinstance(outcome, Exception):
+                sub_results[shard] = self._unserved_result(
+                    fragment, start_us, start_us
+                )
+                events[shard] = SHARD_ERROR
+                if breaker is not None:
+                    breaker.record_failure(start_us)
+            elif deadline is not None and outcome.latency_us > deadline:
+                sub_results[shard] = self._unserved_result(
+                    fragment, start_us, start_us + deadline
+                )
+                events[shard] = SHARD_TIMEOUT
+                if breaker is not None:
+                    breaker.record_failure(start_us + deadline)
+            else:
+                sub_results[shard] = outcome
+                events[shard] = SHARD_OK
+                if breaker is not None:
+                    breaker.record_success(outcome.finish_us)
+        ordered = {shard: sub_results[shard] for shard, _ in items}
+        merged = merge_shard_results(list(ordered.values()))
+        return merged, ordered, events
 
     def serve_query(self, query: Query, start_us: float = 0.0) -> QueryResult:
         """Serve one query across its shards; finish at the slowest one."""
-        merged, _ = self._serve_scattered(query, start_us)
+        merged, _, _ = self._serve_scattered(query, start_us)
         return merged
 
     # -- whole trace ------------------------------------------------------------
@@ -156,8 +324,9 @@ class ClusterEngine:
         """Closed-loop simulation of the trace over ``threads`` workers.
 
         Same client model as the single engine's ``serve_trace``; the
-        returned :class:`ClusterReport` adds per-shard load counters and
-        straggler metrics on top of the merged serving report.
+        returned :class:`ClusterReport` adds per-shard load counters,
+        straggler metrics, and fault-domain accounting (timeouts, breaker
+        skips, per-shard coverage) on top of the merged serving report.
         """
         queries = list(trace)
         if not queries:
@@ -174,12 +343,24 @@ class ClusterEngine:
         shard_pages = [0] * self.num_shards
         shard_ssd_keys = [0] * self.num_shards
         shard_cache_hits = [0] * self.num_shards
+        shard_requested = [0] * self.num_shards
+        shard_missing = [0] * self.num_shards
+        shard_timeouts = [0] * self.num_shards
+        shard_skipped = [0] * self.num_shards
+        shard_errors = [0] * self.num_shards
         fanouts: List[int] = []
         max_shard_latency: List[float] = []
         straggler: List[float] = []
+        event_counters = {
+            SHARD_TIMEOUT: shard_timeouts,
+            SHARD_SKIPPED: shard_skipped,
+            SHARD_ERROR: shard_errors,
+        }
         for index, query in enumerate(queries):
             ready, thread = heapq.heappop(workers)
-            merged, subs = self._serve_scattered(query, start_us=ready)
+            merged, subs, events = self._serve_scattered(
+                query, start_us=ready
+            )
             heapq.heappush(workers, (merged.finish_us, thread))
             if index < warmup_queries:
                 continue
@@ -190,7 +371,13 @@ class ClusterEngine:
                 shard_pages[shard] += sub.pages_read
                 shard_ssd_keys[shard] += sub.ssd_keys
                 shard_cache_hits[shard] += sub.cache_hits
+                shard_requested[shard] += sub.requested_keys
+                shard_missing[shard] += sub.missing_keys
                 latencies.append(sub.latency_us)
+            for shard, event in events.items():
+                counter = event_counters.get(event)
+                if counter is not None:
+                    counter[shard] += 1
             fanouts.append(len(subs))
             slowest = max(latencies)
             max_shard_latency.append(slowest)
@@ -200,6 +387,11 @@ class ClusterEngine:
             page_size=self.config.spec.page_size,
             embedding_bytes=self.config.spec.embedding_bytes,
         )
+        breaker_states: List[str] = []
+        breaker_transitions: List[List] = []
+        if self.breakers is not None:
+            breaker_states = [b.state for b in self.breakers]
+            breaker_transitions = [list(b.transitions) for b in self.breakers]
         return ClusterReport(
             report=report,
             num_shards=self.num_shards,
@@ -211,6 +403,13 @@ class ClusterEngine:
             fanouts=fanouts,
             max_shard_latency_us=max_shard_latency,
             straggler_us=straggler,
+            shard_requested_keys=shard_requested,
+            shard_missing_keys=shard_missing,
+            shard_timeouts=shard_timeouts,
+            shard_skipped=shard_skipped,
+            shard_errors=shard_errors,
+            breaker_states=breaker_states,
+            breaker_transitions=breaker_transitions,
         )
 
     # -- introspection -----------------------------------------------------------

@@ -41,6 +41,15 @@ class ClusterReport:
         max_shard_latency_us: per query, the slowest shard's latency.
         straggler_us: per query, slowest-shard latency minus the mean
             latency of the shards it touched (0 for single-shard queries).
+        shard_requested_keys: keys routed to each shard.
+        shard_missing_keys: keys each shard failed to serve (degraded).
+        shard_timeouts: fragments that blew the per-shard deadline.
+        shard_skipped: fragments rejected by an open circuit breaker.
+        shard_errors: fragments lost to worker exceptions (resilient
+            mode only; strict mode raises instead).
+        breaker_states: final breaker state per shard ([] = no breakers).
+        breaker_transitions: full per-shard breaker transition history
+            (lists of :class:`~repro.faults.BreakerTransition`).
     """
 
     report: ServingReport
@@ -53,6 +62,13 @@ class ClusterReport:
     fanouts: List[int] = field(default_factory=list)
     max_shard_latency_us: List[float] = field(default_factory=list)
     straggler_us: List[float] = field(default_factory=list)
+    shard_requested_keys: List[int] = field(default_factory=list)
+    shard_missing_keys: List[int] = field(default_factory=list)
+    shard_timeouts: List[int] = field(default_factory=list)
+    shard_skipped: List[int] = field(default_factory=list)
+    shard_errors: List[int] = field(default_factory=list)
+    breaker_states: List[str] = field(default_factory=list)
+    breaker_transitions: List[List] = field(default_factory=list)
 
     # -- cluster-level convenience -------------------------------------------
 
@@ -107,6 +123,33 @@ class ClusterReport:
             return 0.0
         return float(np.percentile(self.max_shard_latency_us, 99))
 
+    # -- fault-domain accounting ----------------------------------------------
+
+    def coverage(self) -> float:
+        """Fraction of requested keys served cluster-wide (1.0 = all)."""
+        return self.report.coverage()
+
+    def shard_coverage(self) -> List[float]:
+        """Per-shard served-key fraction (1.0 for untouched shards)."""
+        out: List[float] = []
+        for requested, missing in zip(
+            self.shard_requested_keys, self.shard_missing_keys
+        ):
+            out.append(1.0 - missing / requested if requested else 1.0)
+        return out
+
+    def total_shard_failures(self) -> int:
+        """Timed-out + skipped + errored fragments across the cluster."""
+        return (
+            sum(self.shard_timeouts)
+            + sum(self.shard_skipped)
+            + sum(self.shard_errors)
+        )
+
+    def total_breaker_transitions(self) -> int:
+        """Breaker state changes across every shard."""
+        return sum(len(t) for t in self.breaker_transitions)
+
     def as_dict(self) -> Dict[str, float]:
         """Headline metrics for tables and CLI output."""
         return {
@@ -121,4 +164,10 @@ class ClusterReport:
             "load_imbalance": round(self.load_imbalance(), 3),
             "mean_fanout": round(self.mean_fanout(), 3),
             "mean_straggler_us": round(self.mean_straggler_us(), 2),
+            "coverage": round(self.coverage(), 6),
+            "missing_keys": self.report.total_missing_keys,
+            "shard_timeouts": sum(self.shard_timeouts),
+            "shard_skipped": sum(self.shard_skipped),
+            "shard_errors": sum(self.shard_errors),
+            "breaker_transitions": self.total_breaker_transitions(),
         }

@@ -12,6 +12,15 @@ a directory::
 ``save_store`` / ``load_store`` round-trip everything needed to resume
 serving: the engine is rebuilt from the layout + config, and the page
 store is re-materialized from the table when one is present.
+
+Bundles are integrity-checked end to end: ``config.json`` carries a
+magic/version/CRC32 envelope, ``layout.json`` is checksummed by
+:func:`~repro.placement.serialize.save_layout`, and a ``manifest.json``
+records the CRC32 of every binary sidecar (the embedding table), so a
+truncated or bit-flipped bundle raises
+:class:`~repro.errors.CorruptArtifactError` at load.  Pre-envelope
+bundles still load, with an
+:class:`~repro.integrity.UncheckedArtifactWarning`.
 """
 
 from __future__ import annotations
@@ -22,7 +31,15 @@ from typing import Union
 
 import numpy as np
 
-from ..errors import ConfigError
+from ..errors import ConfigError, CorruptArtifactError
+from ..integrity import (
+    MAGIC_BUNDLE_CONFIG,
+    MAGIC_BUNDLE_MANIFEST,
+    crc32_file,
+    unwrap_document,
+    verify_file_checksum,
+    wrap_document,
+)
 from ..partition import ShpConfig
 from ..placement import load_layout, save_layout
 from ..serving import CpuCostModel
@@ -121,27 +138,67 @@ def save_store(store: MaxEmbedStore, directory: PathLike) -> Path:
     path = Path(directory)
     path.mkdir(parents=True, exist_ok=True)
     (path / "config.json").write_text(
-        json.dumps(config_to_dict(store.config), indent=2)
+        json.dumps(
+            wrap_document(MAGIC_BUNDLE_CONFIG, config_to_dict(store.config)),
+            indent=2,
+        )
     )
     save_layout(store.layout, path / "layout.json")
+    sidecars = {}
     table = getattr(store, "_table", None)
     if table is not None:
         np.save(path / "table.npy", table)
+        sidecars["table.npy"] = crc32_file(path / "table.npy")
+    (path / "manifest.json").write_text(
+        json.dumps(wrap_document(MAGIC_BUNDLE_MANIFEST, {"files": sidecars}))
+    )
     return path
 
 
 def load_store(directory: PathLike) -> MaxEmbedStore:
-    """Rebuild a :class:`MaxEmbedStore` from a bundle directory."""
+    """Rebuild a :class:`MaxEmbedStore` from a bundle directory.
+
+    Every integrity check of the bundle runs here: the config envelope,
+    the layout checksum (via :func:`~repro.placement.serialize.load_layout`)
+    and the manifest's sidecar CRCs all raise
+    :class:`~repro.errors.CorruptArtifactError` on mismatch.
+    """
     path = Path(directory)
     config_path = path / "config.json"
     layout_path = path / "layout.json"
     if not config_path.exists() or not layout_path.exists():
         raise ConfigError(f"{path} is not a store bundle")
     try:
-        config = config_from_dict(json.loads(config_path.read_text()))
-    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        document = json.loads(config_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise CorruptArtifactError(
+            f"malformed bundle config in {path}: {exc}"
+        )
+    document = unwrap_document(
+        MAGIC_BUNDLE_CONFIG, document, source=f"bundle config {config_path}"
+    )
+    try:
+        config = config_from_dict(document)
+    except (KeyError, TypeError) as exc:
         raise ConfigError(f"malformed bundle config in {path}: {exc}")
     layout = load_layout(layout_path)
+    manifest_path = path / "manifest.json"
+    if manifest_path.exists():
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except json.JSONDecodeError as exc:
+            raise CorruptArtifactError(
+                f"malformed bundle manifest in {path}: {exc}"
+            )
+        manifest = unwrap_document(
+            MAGIC_BUNDLE_MANIFEST,
+            manifest,
+            source=f"bundle manifest {manifest_path}",
+        )
+        for name, expected in manifest.get("files", {}).items():
+            verify_file_checksum(
+                path / name, expected, source=f"bundle {path}:"
+            )
     table = None
     table_path = path / "table.npy"
     if table_path.exists():

@@ -33,12 +33,65 @@ class StorageError(ReproError):
     """The simulated SSD rejected a request (bad page id, closed device, …)."""
 
 
+class DeviceFault(StorageError):
+    """An injected device fault: a read failed, timed out, or corrupted.
+
+    Carries enough context for retry/recovery machinery to account the
+    failure in simulated time:
+
+    Attributes:
+        page_id: the page whose read faulted.
+        kind: fault taxonomy — ``"read_error"`` (transient command
+            failure), ``"dead_page"`` (persistent media failure),
+            ``"brownout"`` (device-wide unavailability window), or
+            ``"corrupt"`` (payload failed its integrity check).
+        failed_at_us: simulated time at which the failure was observed;
+            callers resume their clock from here before retrying.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        page_id: "int | None" = None,
+        kind: str = "read_error",
+        failed_at_us: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.page_id = page_id
+        self.kind = kind
+        self.failed_at_us = failed_at_us
+
+
+class CorruptArtifactError(PlacementError, ConfigError):
+    """A persisted artifact failed its integrity check.
+
+    Raised when a checksummed artifact (layout, index bundle, store
+    bundle, sharded layout) is truncated, bit-flipped, or carries the
+    wrong magic/version.  Subclasses both :class:`PlacementError` and
+    :class:`ConfigError` so pre-checksum call sites that catch those
+    (layout loads / bundle loads respectively) keep working unchanged.
+    """
+
+
 class CacheError(ReproError):
     """The DRAM cache was misused (non-positive capacity, …)."""
 
 
 class ServingError(ReproError):
     """The online serving engine could not satisfy a query."""
+
+
+class ShardUnavailableError(ServingError):
+    """A cluster shard failed hard while serving a scattered fragment.
+
+    Attributes:
+        shard: id of the failing shard.
+    """
+
+    def __init__(self, message: str, *, shard: "int | None" = None) -> None:
+        super().__init__(message)
+        self.shard = shard
 
 
 class WorkloadError(ReproError):

@@ -1,0 +1,43 @@
+"""Fault-domain resilience: deterministic injection, faulty devices, breakers.
+
+MaxEmbed's selective replication means every hot key lives on multiple
+pages — which is exactly the redundancy a serving stack needs to survive
+device faults.  This package supplies the failure model:
+
+* :class:`FaultPlan` — a seeded, fully deterministic schedule of read
+  errors, dead pages, corrupted payloads, latency spikes and brown-outs;
+* :class:`FaultInjector` — the stateful driver turning a plan into
+  per-submission :class:`FaultDecision`\\ s, with observability counters;
+* :class:`FaultySsd` — a drop-in wrapper over any simulated page device
+  that injects the plan at the submit/poll boundary;
+* :class:`CircuitBreaker` — the per-shard closed/open/half-open gate the
+  cluster router uses for degraded scatter-gather.
+
+Recovery itself (retries with backoff, replica-aware re-selection) lives
+in :mod:`repro.serving.recovery`, next to the executors it mirrors.
+"""
+
+from .breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerConfig,
+    BreakerTransition,
+    CircuitBreaker,
+)
+from .device import FaultySsd
+from .injector import FaultDecision, FaultInjector
+from .plan import FaultPlan
+
+__all__ = [
+    "FaultPlan",
+    "FaultInjector",
+    "FaultDecision",
+    "FaultySsd",
+    "BreakerConfig",
+    "BreakerTransition",
+    "CircuitBreaker",
+    "CLOSED",
+    "OPEN",
+    "HALF_OPEN",
+]

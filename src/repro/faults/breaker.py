@@ -1,0 +1,133 @@
+"""Per-shard circuit breaker for degraded scatter-gather serving.
+
+Classic three-state breaker (closed → open → half-open → closed), driven
+entirely by *simulated* time so trace replays are deterministic:
+
+* **closed** — requests flow; ``failure_threshold`` consecutive failures
+  trip the breaker open;
+* **open** — requests are rejected without touching the shard; after
+  ``recovery_timeout_us`` of simulated time the next request is allowed
+  through as a probe (the breaker moves to half-open);
+* **half-open** — ``half_open_probes`` consecutive successes close the
+  breaker; any failure re-opens it and restarts the recovery timer.
+
+Every transition is recorded with its simulated timestamp, giving the
+cluster report a full breaker history per shard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..errors import ConfigError
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs for one circuit breaker.
+
+    Attributes:
+        failure_threshold: consecutive failures that trip a closed
+            breaker open.
+        recovery_timeout_us: simulated time an open breaker waits before
+            letting a probe through.
+        half_open_probes: consecutive successes needed to close a
+            half-open breaker.
+    """
+
+    failure_threshold: int = 3
+    recovery_timeout_us: float = 50_000.0
+    half_open_probes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.recovery_timeout_us < 0:
+            raise ConfigError(
+                f"recovery_timeout_us must be >= 0, got "
+                f"{self.recovery_timeout_us}"
+            )
+        if self.half_open_probes < 1:
+            raise ConfigError(
+                f"half_open_probes must be >= 1, got {self.half_open_probes}"
+            )
+
+
+@dataclass(frozen=True)
+class BreakerTransition:
+    """One recorded state change."""
+
+    at_us: float
+    from_state: str
+    to_state: str
+
+
+class CircuitBreaker:
+    """Deterministic three-state circuit breaker on simulated time."""
+
+    def __init__(self, config: "BreakerConfig | None" = None) -> None:
+        self.config = config or BreakerConfig()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._half_open_successes = 0
+        self._opened_at_us = 0.0
+        self.transitions: List[BreakerTransition] = []
+
+    @property
+    def state(self) -> str:
+        """Current state: ``closed``, ``open``, or ``half_open``."""
+        return self._state
+
+    def _transition(self, to_state: str, now_us: float) -> None:
+        self.transitions.append(
+            BreakerTransition(now_us, self._state, to_state)
+        )
+        self._state = to_state
+
+    # -- request gating --------------------------------------------------------
+
+    def allow(self, now_us: float) -> bool:
+        """May a request be sent at ``now_us``?
+
+        An open breaker whose recovery timeout has elapsed transitions
+        to half-open and admits the request as a probe.
+        """
+        if self._state == OPEN:
+            elapsed = now_us - self._opened_at_us
+            if elapsed >= self.config.recovery_timeout_us:
+                self._half_open_successes = 0
+                self._transition(HALF_OPEN, now_us)
+                return True
+            return False
+        return True
+
+    # -- outcome reporting -----------------------------------------------------
+
+    def record_success(self, now_us: float) -> None:
+        """Report a successful request outcome."""
+        if self._state == HALF_OPEN:
+            self._half_open_successes += 1
+            if self._half_open_successes >= self.config.half_open_probes:
+                self._consecutive_failures = 0
+                self._transition(CLOSED, now_us)
+        else:
+            self._consecutive_failures = 0
+
+    def record_failure(self, now_us: float) -> None:
+        """Report a failed request outcome (timeout, fault, exception)."""
+        if self._state == HALF_OPEN:
+            self._opened_at_us = now_us
+            self._transition(OPEN, now_us)
+            return
+        if self._state == CLOSED:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.config.failure_threshold:
+                self._opened_at_us = now_us
+                self._transition(OPEN, now_us)

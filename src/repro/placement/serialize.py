@@ -3,7 +3,12 @@
 Layouts are the hand-off artifact between the offline and online phases
 (the paper ships partition results from the Hadoop SHP job to the serving
 hosts); persisting them lets the expensive offline pass be reused across
-serving runs and experiments.
+serving runs and experiments.  Artifacts written here carry an integrity
+envelope (magic + version + CRC32, see :mod:`repro.integrity`): a
+truncated or bit-flipped file raises
+:class:`~repro.errors.CorruptArtifactError` at load rather than serving
+a silently wrong layout, while pre-envelope files still load with an
+:class:`~repro.integrity.UncheckedArtifactWarning`.
 """
 
 from __future__ import annotations
@@ -14,7 +19,14 @@ from typing import Union
 
 import numpy as np
 
-from ..errors import PlacementError
+from ..errors import CorruptArtifactError, PlacementError
+from ..integrity import (
+    MAGIC_LAYOUT,
+    crc32_file,
+    unwrap_document,
+    verify_file_checksum,
+    wrap_document,
+)
 from .csr import CsrArray, CsrIndexes
 from .layout import PageLayout
 
@@ -32,22 +44,37 @@ _INDEX_ARRAYS = (
 
 
 def save_layout(layout: PageLayout, path: PathLike) -> None:
-    """Write ``layout`` to ``path`` as JSON."""
+    """Write ``layout`` to ``path`` as checksummed JSON."""
     document = {
         "num_keys": layout.num_keys,
         "capacity": layout.capacity,
         "num_base_pages": layout.num_base_pages,
         "pages": [list(p) for p in layout.pages()],
     }
-    Path(path).write_text(json.dumps(document))
+    Path(path).write_text(json.dumps(wrap_document(MAGIC_LAYOUT, document)))
 
 
 def load_layout(path: PathLike) -> PageLayout:
-    """Read a layout previously written by :func:`save_layout`."""
+    """Read a layout previously written by :func:`save_layout`.
+
+    Verifies the integrity envelope (raising
+    :class:`~repro.errors.CorruptArtifactError` on any mismatch); raw
+    pre-envelope layout documents load with a warning.
+    """
     try:
-        document = json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as exc:
+        raw = Path(path).read_text()
+    except OSError as exc:
         raise PlacementError(f"cannot load layout from {path}: {exc}")
+    try:
+        document = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise CorruptArtifactError(
+            f"cannot load layout from {path}: not valid JSON "
+            f"(truncated or corrupted?): {exc}"
+        )
+    document = unwrap_document(
+        MAGIC_LAYOUT, document, source=f"layout file {path}"
+    )
     for field in ("num_keys", "capacity", "num_base_pages", "pages"):
         if field not in document:
             raise PlacementError(f"layout file missing field {field!r}")
@@ -75,14 +102,18 @@ def save_indexes(indexes: CsrIndexes, directory: PathLike) -> None:
         "full_forward_indptr": indexes.full_forward.indptr,
         "full_forward_indices": indexes.full_forward.indices,
     }
+    checksums = {}
     for name in _INDEX_ARRAYS:
-        np.save(root / f"{name}.npy", arrays[name], allow_pickle=False)
+        target = root / f"{name}.npy"
+        np.save(target, arrays[name], allow_pickle=False)
+        checksums[name] = crc32_file(target)
     meta = {
         "format": "maxembed-csr-indexes",
-        "version": 1,
+        "version": 2,
         "limit": indexes.limit,
         "num_keys": indexes.num_keys,
         "num_pages": indexes.num_pages,
+        "checksums": checksums,
     }
     (root / "meta.json").write_text(json.dumps(meta))
 
@@ -101,10 +132,35 @@ def load_indexes(directory: PathLike, mmap: bool = True) -> CsrIndexes:
         raise PlacementError(f"cannot load indexes from {root}: {exc}")
     if meta.get("format") != "maxembed-csr-indexes":
         raise PlacementError(f"{root} does not hold CSR indexes")
+    version = meta.get("version")
+    if version not in (1, 2):
+        raise CorruptArtifactError(
+            f"{root} has unsupported index-bundle version {version!r}"
+        )
+    checksums = meta.get("checksums")
+    if checksums is None:
+        import warnings
+
+        from ..integrity import UncheckedArtifactWarning
+
+        warnings.warn(
+            f"index bundle {root} has no array checksums (legacy "
+            f"format); loading without verification",
+            UncheckedArtifactWarning,
+            stacklevel=2,
+        )
     mode = "r" if mmap else None
     loaded = {}
     for name in _INDEX_ARRAYS:
         path = root / f"{name}.npy"
+        if checksums is not None:
+            if name not in checksums:
+                raise CorruptArtifactError(
+                    f"index bundle {root} records no checksum for {name}"
+                )
+            verify_file_checksum(
+                path, checksums[name], source=f"index bundle {root}:"
+            )
         try:
             loaded[name] = np.load(path, mmap_mode=mode, allow_pickle=False)
         except (OSError, ValueError) as exc:

@@ -29,6 +29,7 @@ from .fast_selection import (
 from .cost_model import CpuCostModel
 from .executor import ExecutionResult, Executor, PipelinedExecutor, SerialExecutor
 from .engine import EngineConfig, QueryResult, ServingEngine
+from .recovery import DegradedExecution, RecoveringExecutor, RetryPolicy
 from .stats import ServingReport, aggregate_results
 from .batch import BatchResult, BatchServer, batching_summary
 from .openloop import OpenLoopReport, OpenLoopResult, OpenLoopSimulator
@@ -47,6 +48,9 @@ __all__ = [
     "SerialExecutor",
     "PipelinedExecutor",
     "ExecutionResult",
+    "RetryPolicy",
+    "RecoveringExecutor",
+    "DegradedExecution",
     "ServingEngine",
     "EngineConfig",
     "QueryResult",

@@ -16,12 +16,14 @@ from typing import List, Optional, Sequence
 
 from ..cache import EmbeddingCache
 from ..errors import ServingError
+from ..faults import BreakerConfig, FaultPlan, FaultySsd
 from ..placement import PageLayout, build_indexes
 from ..ssd import P5800X, Raid0Array, SimulatedSsd, SsdProfile
 from ..types import EmbeddingSpec, Query, QueryTrace
 from .cost_model import CpuCostModel
 from .executor import Executor, PipelinedExecutor, SerialExecutor
 from .fast_selection import FastGreedySelector, FastOnePassSelector
+from .recovery import RecoveringExecutor, RetryPolicy
 from .selection import GreedySetCoverSelector, OnePassSelector, Selector
 from .stats import QueryResult, ServingReport, aggregate_results
 
@@ -62,6 +64,15 @@ class EngineConfig:
             = serial).  Ignored by single-shard engines.
         raid_members: >1 builds a RAID-0 of that many drives.
         cost_model: CPU charge table for the selection path.
+        fault_plan: deterministic fault-injection schedule (None = no
+            injection; the fault machinery stays entirely out of the hot
+            path and serving is bit-identical to a fault-free build).
+        retry: bounded-backoff retry policy for injected read failures
+            (only consulted when ``fault_plan`` is set).
+        shard_deadline_us: per-shard gather deadline for cluster serving
+            (None = wait forever).  Ignored by single-shard engines.
+        breaker: per-shard circuit-breaker configuration for cluster
+            serving (None = no breaker).  Ignored by single engines.
     """
 
     spec: EmbeddingSpec = field(default_factory=EmbeddingSpec)
@@ -77,6 +88,10 @@ class EngineConfig:
     scatter_workers: Optional[int] = None
     raid_members: int = 1
     cost_model: CpuCostModel = field(default_factory=CpuCostModel)
+    fault_plan: Optional[FaultPlan] = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    shard_deadline_us: Optional[float] = None
+    breaker: Optional[BreakerConfig] = None
 
     def __post_init__(self) -> None:
         if self.selector not in _SELECTORS:
@@ -102,6 +117,11 @@ class EngineConfig:
         if not 0.0 <= self.cache_ratio <= 1.0:
             raise ServingError(
                 f"cache_ratio must be in [0, 1], got {self.cache_ratio}"
+            )
+        if self.shard_deadline_us is not None and self.shard_deadline_us <= 0:
+            raise ServingError(
+                f"shard_deadline_us must be positive, got "
+                f"{self.shard_deadline_us}"
             )
 
 
@@ -134,17 +154,43 @@ class ServingEngine:
             policy=self.config.cache_policy,
         )
         self.device = self._build_device()
+        # The fault path is built only when a plan is configured, so the
+        # fault-free hot path is untouched (bit-identical serving).
+        self._recovery: Optional[RecoveringExecutor] = None
+        if self.config.fault_plan is not None:
+            if self.config.index_limit is None:
+                full_forward = self.forward
+            else:
+                full_forward, _ = build_indexes(layout, limit=None)
+            self._recovery = RecoveringExecutor(
+                full_forward,
+                self.invert,
+                cost_model=self.config.cost_model,
+                retry=self.config.retry,
+                mode=self.config.executor,
+            )
 
     def _build_device(self):
         if self.config.raid_members > 1:
-            return Raid0Array(
+            device = Raid0Array(
                 self.config.profile,
                 members=self.config.raid_members,
                 page_size=self.config.spec.page_size,
             )
-        return SimulatedSsd(
-            self.config.profile, page_size=self.config.spec.page_size
-        )
+        else:
+            device = SimulatedSsd(
+                self.config.profile, page_size=self.config.spec.page_size
+            )
+        if self.config.fault_plan is not None:
+            return FaultySsd(device, self.config.fault_plan)
+        return device
+
+    @property
+    def fault_counters(self):
+        """Injected fault counts per kind (None without a fault plan)."""
+        if isinstance(self.device, FaultySsd):
+            return self.device.fault_counters
+        return None
 
     # -- single query -------------------------------------------------------------
 
@@ -164,6 +210,10 @@ class ServingEngine:
                 finish_us=finish,
             )
         outcome = self.selector.select(misses)
+        if self._recovery is not None:
+            return self._serve_degradable(
+                outcome, len(keys), len(hits), misses, start_us
+            )
         execution = self.executor.execute(outcome, self.device, start_us)
         if self.config.page_grain_admission:
             for page_id in outcome.pages:
@@ -179,6 +229,35 @@ class ServingEngine:
             start_us=start_us,
             finish_us=execution.finish_us,
             execution=execution,
+        )
+
+    def _serve_degradable(
+        self, outcome, requested, hits, misses, start_us
+    ) -> QueryResult:
+        """Fault-aware execution: retries, replica recovery, degradation."""
+        degraded = self._recovery.execute(outcome, self.device, start_us)
+        missing = set(degraded.missing_keys)
+        if self.config.page_grain_admission:
+            for page_id in degraded.pages_ok:
+                self.cache.admit(self.invert.keys_of(page_id))
+        elif missing:
+            self.cache.admit([k for k in misses if k not in missing])
+        else:
+            self.cache.admit(misses)
+        execution = degraded.execution
+        return QueryResult(
+            requested_keys=requested,
+            cache_hits=hits,
+            ssd_keys=len(misses) - len(missing),
+            pages_read=execution.pages_read,
+            valid_per_read=degraded.valid_per_read,
+            start_us=start_us,
+            finish_us=execution.finish_us,
+            execution=execution,
+            retries=degraded.retries,
+            failed_reads=degraded.failed_reads,
+            recovered_keys=degraded.recovered_keys,
+            missing_keys=len(missing),
         )
 
     # -- whole trace ----------------------------------------------------------------

@@ -1,0 +1,307 @@
+"""Fault-tolerant query execution: retries, backoff, replica recovery.
+
+:class:`RecoveringExecutor` is the fault-aware counterpart of the plain
+executors in :mod:`repro.serving.executor`.  It walks the same selection
+outcome with the same cost model and the same submit/backpressure logic
+— with a no-fault device its timing is bit-identical to
+:class:`~repro.serving.executor.PipelinedExecutor` /
+:class:`~repro.serving.executor.SerialExecutor` — but every read passes
+through a bounded retry loop, and reads that ultimately fail trigger
+**replica-aware recovery**:
+
+1. Keys lost with a failed page are first checked against the pages that
+   *did* transfer: a co-resident replica on any successfully read page
+   serves the key at zero extra cost (the page is already in DRAM).
+2. Still-lost keys are re-selected through the *full* (never-shrunk)
+   forward index — exactly the alternate locations MaxEmbed's selective
+   replication creates — skipping pages already known to have failed.
+3. Keys with no surviving page are reported **missing** in the degraded
+   result instead of raising; the caller accounts them and serves the
+   rest of the trace.
+
+All retry backoff is charged in simulated time, so fault handling shows
+up in latency percentiles exactly like real tail amplification would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..errors import ConfigError, DeviceFault
+from ..faults.device import FaultySsd
+from ..placement import ForwardIndex, InvertIndex
+from .cost_model import CpuCostModel
+from .executor import ExecutionResult
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff in simulated time.
+
+    Attributes:
+        max_retries: additional attempts after the first failure
+            (0 = fail immediately).
+        backoff_us: simulated wait before the first retry.
+        backoff_multiplier: growth factor of successive backoffs.
+    """
+
+    max_retries: int = 2
+    backoff_us: float = 50.0
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff_us < 0:
+            raise ConfigError(
+                f"backoff_us must be >= 0, got {self.backoff_us}"
+            )
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError(
+                f"backoff_multiplier must be >= 1, got "
+                f"{self.backoff_multiplier}"
+            )
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before retrying after failed attempt ``attempt``."""
+        return self.backoff_us * self.backoff_multiplier**attempt
+
+
+@dataclass(frozen=True)
+class DegradedExecution:
+    """A fault-aware execution: timing plus recovery accounting.
+
+    Attributes:
+        execution: the ordinary timing breakdown (retry backoff and
+            replacement reads included in its clock).
+        valid_per_read: newly covered keys per *useful* page read, in
+            read order (failed and corrupt reads contribute nothing).
+        pages_ok: pages whose payload actually arrived intact, in read
+            order (primary successes then replacements) — the set a
+            page-grain cache admission may trust.
+        retries: total re-submissions across all reads of the query.
+        failed_reads: logical reads abandoned after exhausting retries.
+        wasted_reads: transfers that completed but failed their
+            integrity check (bandwidth consumed, no data delivered).
+        replacement_reads: successful reads of alternate replica pages.
+        recovered_keys: lost keys served via a replica (free co-resident
+            or replacement read).
+        missing_keys: keys with no surviving page, in process order.
+    """
+
+    execution: ExecutionResult
+    valid_per_read: Tuple[int, ...]
+    pages_ok: Tuple[int, ...]
+    retries: int
+    failed_reads: int
+    wasted_reads: int
+    replacement_reads: int
+    recovered_keys: int
+    missing_keys: Tuple[int, ...]
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one key could not be served."""
+        return bool(self.missing_keys)
+
+
+class RecoveringExecutor:
+    """Executes a selection outcome with retries and replica recovery.
+
+    Args:
+        full_forward: the **unshrunk** forward index (every page holding
+            each key) — the replica map recovery re-selects from.
+        invert: the layout's invert index (page → co-resident keys).
+        cost_model: CPU charge table (same as the plain executors).
+        retry: bounded-backoff retry policy.
+        mode: ``"pipelined"`` or ``"serial"`` — mirrors the timing model
+            of the corresponding plain executor.
+    """
+
+    def __init__(
+        self,
+        full_forward: ForwardIndex,
+        invert: InvertIndex,
+        cost_model: "CpuCostModel | None" = None,
+        retry: "RetryPolicy | None" = None,
+        mode: str = "pipelined",
+    ) -> None:
+        if mode not in ("pipelined", "serial"):
+            raise ConfigError(
+                f"mode must be pipelined|serial, got {mode!r}"
+            )
+        self.full_forward = full_forward
+        self.invert = invert
+        self.cost_model = cost_model or CpuCostModel()
+        self.retry = retry or RetryPolicy()
+        self.mode = mode
+
+    # -- one fault-aware read ----------------------------------------------------
+
+    def _read_with_retry(self, device, page_id: int, now_us: float):
+        """Read ``page_id`` with backpressure, retries, and backoff.
+
+        Returns ``(completion_or_None, now_us, retries, wasted_reads)``;
+        ``None`` means the read was abandoned after exhausting retries.
+        Corrupt completions are detected at their (simulated) arrival, so
+        a corrupt read synchronizes the clock to its completion before
+        the retry — the caller paid for the full wasted transfer.
+        """
+        attempt_aware = isinstance(device, FaultySsd)
+        attempt = 0
+        retries = 0
+        wasted = 0
+        while True:
+            while device.inflight >= device.queue_depth:
+                next_done = device.next_completion_time()
+                if next_done is None:  # pragma: no cover - inflight implies one
+                    break
+                now_us = max(now_us, next_done)
+                device.poll(now_us)
+            try:
+                if attempt_aware:
+                    completion = device.submit_read(page_id, now_us, attempt)
+                else:
+                    completion = device.submit_read(page_id, now_us)
+            except DeviceFault as fault:
+                now_us = max(now_us, fault.failed_at_us)
+                if (
+                    fault.kind == "dead_page"
+                    or attempt >= self.retry.max_retries
+                ):
+                    return None, now_us, retries, wasted
+                now_us += self.retry.backoff_for(attempt)
+                attempt += 1
+                retries += 1
+                continue
+            if attempt_aware and device.is_corrupt(completion):
+                wasted += 1
+                now_us = max(now_us, completion.completed_at_us)
+                if attempt >= self.retry.max_retries:
+                    return None, now_us, retries, wasted
+                now_us += self.retry.backoff_for(attempt)
+                attempt += 1
+                retries += 1
+                continue
+            return completion, now_us, retries, wasted
+
+    # -- full query --------------------------------------------------------------
+
+    def execute(self, outcome, device, start_us: float) -> DegradedExecution:
+        """Run ``outcome`` on ``device``; degrade instead of raising."""
+        cost = self.cost_model
+        steps = outcome.steps
+        sort_us = cost.sort_time_us(outcome.sorted_keys)
+        now = start_us + cost.query_base_us + sort_us
+        selection_us = 0.0
+        if self.mode == "serial":
+            selection_us = cost.selection_time_us(outcome)
+            now += selection_us
+        last_completion = now
+        retries = 0
+        failed_reads = 0
+        wasted_reads = 0
+        valid_counts: List[int] = []
+        pages_ok: List[int] = []
+        failed_pages = set()
+        lost_order: List[int] = []
+        for step in steps:
+            if self.mode == "pipelined":
+                cpu = cost.step_time_us(step.candidates_examined)
+                selection_us += cpu
+                now += cpu
+            completion, now, r, w = self._read_with_retry(
+                device, step.page_id, now
+            )
+            retries += r
+            wasted_reads += w
+            if completion is None:
+                failed_reads += 1
+                failed_pages.add(step.page_id)
+                lost_order.extend(step.covered)
+            else:
+                last_completion = max(
+                    last_completion, completion.completed_at_us
+                )
+                valid_counts.append(len(step.covered))
+                pages_ok.append(step.page_id)
+        recovered = 0
+        missing: List[int] = []
+        replacement_reads = 0
+        if lost_order:
+            # Free recovery: a successfully transferred page holds every
+            # co-resident key, not only the ones selection assigned it.
+            available = set()
+            for page in pages_ok:
+                available |= self.invert.key_set(page)
+            lost = [k for k in lost_order if k not in available]
+            recovered += len(lost_order) - len(lost)
+            remaining = dict.fromkeys(lost)
+            while remaining:
+                key = next(iter(remaining))
+                alternates = self.full_forward.pages_of(key)
+                cpu = cost.step_time_us(len(alternates))
+                selection_us += cpu
+                now += cpu
+                served = False
+                for alt in alternates:
+                    if alt in failed_pages:
+                        continue
+                    completion, now, r, w = self._read_with_retry(
+                        device, alt, now
+                    )
+                    retries += r
+                    wasted_reads += w
+                    if completion is None:
+                        failed_reads += 1
+                        failed_pages.add(alt)
+                        continue
+                    replacement_reads += 1
+                    pages_ok.append(alt)
+                    last_completion = max(
+                        last_completion, completion.completed_at_us
+                    )
+                    cover = [
+                        k
+                        for k in self.invert.sorted_keys_of(alt)
+                        if k in remaining
+                    ]
+                    for k in cover:
+                        del remaining[k]
+                    recovered += len(cover)
+                    valid_counts.append(len(cover))
+                    served = True
+                    break
+                if not served:
+                    missing.append(key)
+                    del remaining[key]
+        if self.mode == "pipelined":
+            finish = max(now, last_completion)
+            io_wait = max(0.0, finish - now)
+        else:
+            finish = max(now, last_completion)
+            io_wait = max(0.0, last_completion - now)
+        device.poll(finish)
+        transfers = len(pages_ok) + wasted_reads
+        execution = ExecutionResult(
+            start_us=start_us,
+            finish_us=finish,
+            sort_us=sort_us,
+            selection_us=selection_us,
+            io_wait_us=io_wait,
+            pages_read=transfers,
+        )
+        return DegradedExecution(
+            execution=execution,
+            valid_per_read=tuple(valid_counts),
+            pages_ok=tuple(pages_ok),
+            retries=retries,
+            failed_reads=failed_reads,
+            wasted_reads=wasted_reads,
+            replacement_reads=replacement_reads,
+            recovered_keys=recovered,
+            missing_keys=tuple(missing),
+        )

@@ -31,6 +31,11 @@ class QueryResult:
         execution: timing breakdown (None when no SSD read was needed).
         finish_us: absolute completion time.
         start_us: absolute start time.
+        retries: read re-submissions after injected device faults.
+        failed_reads: logical page reads abandoned after retries.
+        recovered_keys: keys served via a replica after their selected
+            page's read failed.
+        missing_keys: keys that could not be served from any page.
     """
 
     requested_keys: int
@@ -41,11 +46,20 @@ class QueryResult:
     start_us: float
     finish_us: float
     execution: "ExecutionResult | None" = None
+    retries: int = 0
+    failed_reads: int = 0
+    recovered_keys: int = 0
+    missing_keys: int = 0
 
     @property
     def latency_us(self) -> float:
         """End-to-end latency of this query."""
         return self.finish_us - self.start_us
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one requested key went unserved."""
+        return self.missing_keys > 0
 
 
 @dataclass
@@ -65,6 +79,11 @@ class ServingReport:
     valid_per_read_hist: Dict[int, int] = field(default_factory=dict)
     page_size: int = 4096
     embedding_bytes: int = 256
+    total_retries: int = 0
+    total_failed_reads: int = 0
+    total_recovered_keys: int = 0
+    total_missing_keys: int = 0
+    degraded_queries: int = 0
 
     # -- throughput / latency ------------------------------------------------
 
@@ -144,6 +163,14 @@ class ServingReport:
             return 0.0
         return (self.sort_us + self.selection_us) / total
 
+    # -- degraded-mode accounting --------------------------------------------
+
+    def coverage(self) -> float:
+        """Fraction of requested keys actually served (1.0 = no loss)."""
+        if self.total_requested == 0:
+            return 1.0
+        return 1.0 - self.total_missing_keys / self.total_requested
+
 
 def merge_shard_results(results: Sequence[QueryResult]) -> QueryResult:
     """Gather per-shard results of one scattered query into one result.
@@ -187,6 +214,10 @@ def merge_shard_results(results: Sequence[QueryResult]) -> QueryResult:
         start_us=results[0].start_us,
         finish_us=finish,
         execution=merged_execution,
+        retries=sum(r.retries for r in results),
+        failed_reads=sum(r.failed_reads for r in results),
+        recovered_keys=sum(r.recovered_keys for r in results),
+        missing_keys=sum(r.missing_keys for r in results),
     )
 
 
@@ -219,4 +250,10 @@ def aggregate_results(
             report.sort_us += r.execution.sort_us
             report.selection_us += r.execution.selection_us
             report.io_wait_us += r.execution.io_wait_us
+        report.total_retries += r.retries
+        report.total_failed_reads += r.failed_reads
+        report.total_recovered_keys += r.recovered_keys
+        report.total_missing_keys += r.missing_keys
+        if r.missing_keys > 0:
+            report.degraded_queries += 1
     return report
