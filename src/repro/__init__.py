@@ -56,6 +56,7 @@ from .faults import (
 from .hypergraph import Hypergraph, build_hypergraph, build_weighted_hypergraph
 from .metrics import evaluate_placement, read_amplification
 from .partition import (
+    FastShpPartitioner,
     MultilevelConfig,
     MultilevelPartitioner,
     RandomPartitioner,
@@ -124,6 +125,7 @@ __all__ = [
     "build_weighted_hypergraph",
     # partition
     "ShpPartitioner",
+    "FastShpPartitioner",
     "ShpConfig",
     "MultilevelPartitioner",
     "MultilevelConfig",

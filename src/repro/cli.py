@@ -72,8 +72,16 @@ def _add_build(subparsers) -> None:
         "--workers",
         type=int,
         default=None,
-        help="processes for per-shard builds (default: one per shard "
-        "up to the CPU count; 1 = serial)",
+        help="build processes: per-shard builds when --shards > 1, "
+        "bisection subtrees of the fast offline path otherwise "
+        "(default: one per CPU; 1 = serial; results are identical)",
+    )
+    p.add_argument(
+        "--offline-path",
+        default="fast",
+        choices=["fast", "reference"],
+        help="array-backed offline pipeline (default) or the reference "
+        "pure-python loops; layouts are identical",
     )
     p.add_argument("--out", required=True, help="output layout file")
 
@@ -209,6 +217,8 @@ def _cmd_build(args) -> int:
         num_shards=args.shards,
         shard_strategy=args.shard_strategy,
         build_workers=args.workers,
+        offline_path=args.offline_path,
+        offline_workers=args.workers,
         seed=args.seed,
     )
     if args.shards > 1:

@@ -19,7 +19,7 @@ import math
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Tuple
 
 from ..core import MaxEmbedConfig, build_offline_layout
@@ -167,11 +167,16 @@ def build_sharded_layout(
         )
     if workers is None:
         workers = config.build_workers
+    effective = _resolve_build_workers(workers, plan.num_shards)
+    job_config = config
+    if effective > 1 and config.offline_workers != 1:
+        # One pool level is enough: shard processes must not spawn their
+        # own bisection-subtree pools (identical output either way).
+        job_config = replace(config, offline_workers=1)
     jobs = [
-        (project_trace(trace, plan, shard), config)
+        (project_trace(trace, plan, shard), job_config)
         for shard in range(plan.num_shards)
     ]
-    effective = _resolve_build_workers(workers, plan.num_shards)
     layouts: "List[PageLayout] | None" = None
     if effective > 1:
         try:

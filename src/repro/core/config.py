@@ -52,6 +52,12 @@ class MaxEmbedConfig:
         build_workers: processes for the per-shard offline builds
             (``None`` = one per shard up to the CPU count, ``0``/``1`` =
             serial).
+        offline_path: ``"fast"`` builds layouts with the array-backed
+            offline pipeline (vectorized SHP + replication; bit-identical
+            artifacts), ``"reference"`` forces the pure-python loops.
+        offline_workers: processes for the fast path's parallel bisection
+            subtrees (``None`` = one per CPU, ``0``/``1`` = serial; the
+            layout is identical for every worker count).
         seed: base RNG seed for every stochastic component.
     """
 
@@ -74,9 +80,12 @@ class MaxEmbedConfig:
     num_shards: int = 1
     shard_strategy: str = "cooccurrence"
     build_workers: Optional[int] = None
+    offline_path: str = "fast"
+    offline_workers: Optional[int] = 1
     seed: int = 0
 
     _STRATEGIES = ("maxembed", "rpp", "fpr", "none")
+    _OFFLINE_PATHS = ("fast", "reference")
     _PARTITIONERS = ("shp", "multilevel", "random", "vanilla")
     # Kept in sync with repro.cluster.planner.SHARD_STRATEGIES (the
     # cluster package imports core, so core cannot import it back).
@@ -109,6 +118,15 @@ class MaxEmbedConfig:
         if self.build_workers is not None and self.build_workers < 0:
             raise ConfigError(
                 f"build_workers must be >= 0, got {self.build_workers}"
+            )
+        if self.offline_path not in self._OFFLINE_PATHS:
+            raise ConfigError(
+                f"unknown offline path {self.offline_path!r}; "
+                f"choose from {self._OFFLINE_PATHS}"
+            )
+        if self.offline_workers is not None and self.offline_workers < 0:
+            raise ConfigError(
+                f"offline_workers must be >= 0, got {self.offline_workers}"
             )
 
     @property

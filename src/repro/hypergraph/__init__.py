@@ -6,12 +6,15 @@ phase (partitioning + replication) operates entirely on this structure.
 
 from .hypergraph import Hypergraph
 from .builder import build_hypergraph, build_weighted_hypergraph
+from .csr import HypergraphCsr, gather_rows
 from .stats import HypergraphStats, compute_stats, vertex_cooccurrence
 from .io import load_hypergraph, save_hypergraph
 from .sampling import head_trace, sample_edges, sample_trace
 
 __all__ = [
     "Hypergraph",
+    "HypergraphCsr",
+    "gather_rows",
     "build_hypergraph",
     "build_weighted_hypergraph",
     "HypergraphStats",

@@ -17,9 +17,12 @@ walks vertex→edges.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from ..errors import HypergraphError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .csr import HypergraphCsr
 
 Edge = Tuple[int, ...]
 
@@ -60,6 +63,7 @@ class Hypergraph:
             if any(w <= 0 for w in self._weights):
                 raise HypergraphError("edge weights must be positive")
         self._incidence: "List[List[int]] | None" = None
+        self._csr: "HypergraphCsr | None" = None
 
     # -- basic accessors ---------------------------------------------------
 
@@ -123,6 +127,19 @@ class Hypergraph:
         ]
 
     # -- derived structures --------------------------------------------------
+
+    def csr(self) -> "HypergraphCsr":
+        """Flat-array (CSR) view of both incidence directions.
+
+        Built lazily and cached — the graph is immutable after
+        construction, so partitioning, scoring, and replication can all
+        share the same arrays.
+        """
+        if self._csr is None:
+            from .csr import HypergraphCsr
+
+            self._csr = HypergraphCsr.from_graph(self)
+        return self._csr
 
     def total_pin_count(self) -> int:
         """Total number of (edge, vertex) incidences, unweighted."""

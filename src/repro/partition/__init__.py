@@ -21,6 +21,8 @@ from .metrics import (
     mean_connectivity,
     total_connectivity,
 )
+from .fast_metrics import fast_edge_connectivities
+from .fast_shp import FastShpPartitioner
 from .multilevel import MultilevelConfig, MultilevelPartitioner
 from .random_partition import RandomPartitioner
 from .streaming import StreamingPartitioner
@@ -34,10 +36,12 @@ __all__ = [
     "RandomPartitioner",
     "ShpPartitioner",
     "ShpConfig",
+    "FastShpPartitioner",
     "MultilevelPartitioner",
     "MultilevelConfig",
     "StreamingPartitioner",
     "edge_connectivities",
+    "fast_edge_connectivities",
     "total_connectivity",
     "mean_connectivity",
     "fanout_objective",

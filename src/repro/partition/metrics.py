@@ -33,25 +33,44 @@ def edge_connectivities(
     return [len({assignment[v] for v in edge}) for edge in graph.edges()]
 
 
-def total_connectivity(graph: Hypergraph, assignment: Sequence[int]) -> int:
-    """Weighted sum of λ(e) — total SSD reads to serve the whole trace."""
-    lambdas = edge_connectivities(graph, assignment)
+def total_connectivity(
+    graph: Hypergraph,
+    assignment: Sequence[int],
+    lambdas: "Sequence[int] | None" = None,
+) -> int:
+    """Weighted sum of λ(e) — total SSD reads to serve the whole trace.
+
+    ``lambdas`` lets a caller that already computed the per-edge
+    connectivities reuse them instead of recomputing.
+    """
+    if lambdas is None:
+        lambdas = edge_connectivities(graph, assignment)
     return sum(
         lam * graph.weight(eid) for eid, lam in enumerate(lambdas)
     )
 
 
-def fanout_objective(graph: Hypergraph, assignment: Sequence[int]) -> int:
+def fanout_objective(
+    graph: Hypergraph,
+    assignment: Sequence[int],
+    lambdas: "Sequence[int] | None" = None,
+) -> int:
     """Weighted Σ (λ(e) − 1) — the SHP minimization objective."""
-    lambdas = edge_connectivities(graph, assignment)
+    if lambdas is None:
+        lambdas = edge_connectivities(graph, assignment)
     return sum(
         (lam - 1) * graph.weight(eid) for eid, lam in enumerate(lambdas)
     )
 
 
-def mean_connectivity(graph: Hypergraph, assignment: Sequence[int]) -> float:
+def mean_connectivity(
+    graph: Hypergraph,
+    assignment: Sequence[int],
+    lambdas: "Sequence[int] | None" = None,
+) -> float:
     """Weighted mean λ(e) — average reads per (historical) query."""
-    lambdas = edge_connectivities(graph, assignment)
+    if lambdas is None:
+        lambdas = edge_connectivities(graph, assignment)
     weights = [graph.weight(eid) for eid in range(graph.num_edges)]
     return float(np.average(lambdas, weights=weights))
 

@@ -27,6 +27,18 @@ matched probabilistic exchanges.
 
 Complexity is ``O(pins · iterations · log B)`` — the ``E log B`` of the
 paper's §7.2 with the iteration count as the constant.
+
+Randomness discipline
+---------------------
+Every bisection node derives a private generator from
+``(seed, first_cluster_id, targets)`` rather than consuming one shared
+sequential stream.  The pair (first cluster id of the subtree, remaining
+cluster targets) is unique per node — nodes sharing a first cluster id
+form an ancestor chain with strictly decreasing targets — so streams
+never collide, and sibling subtrees become RNG-independent.  That is
+what lets :class:`repro.partition.fast_shp.FastShpPartitioner` recurse
+over subtrees in parallel worker processes while reproducing this
+class's output bit for bit.
 """
 
 from __future__ import annotations
@@ -34,10 +46,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import PartitionError
 from ..hypergraph import Hypergraph
-from ..utils.rng import RngLike, make_rng
+from ..utils.rng import RngLike
 from .base import PartitionResult, Partitioner, balanced_sizes
+
+
+def _seed_entropy(seed: RngLike) -> int:
+    """Collapse a seed of any accepted flavor into one entropy integer.
+
+    Node generators are keyed by ``(entropy, cluster_lo, targets)``; a
+    Generator seed is collapsed by drawing a single integer from it (one
+    draw total, regardless of graph size), ``None`` draws from OS entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63))
+    if seed is None:
+        return int(np.random.default_rng().integers(0, 2**63))
+    return int(seed)
+
+
+def _node_rng(entropy: int, cluster_lo: int, targets: int):
+    """Private generator for the bisection node owning clusters
+    ``[cluster_lo, cluster_lo + targets)``."""
+    return np.random.default_rng((entropy, cluster_lo, targets))
 
 
 @dataclass(frozen=True)
@@ -56,7 +90,11 @@ class ShpConfig:
         kl_passes: maximum KL passes per small bisection.
         kl_restarts: independent random initial splits tried per small
             bisection (the best resulting cut wins).
-        seed: RNG seed for the initial random splits.
+        seed: RNG seed for the initial random splits.  Each bisection
+            node derives its own generator from
+            ``(seed, first_cluster_id, targets)``, so results are
+            reproducible per subtree (see module docstring); a Generator
+            seed is collapsed to one drawn integer.
     """
 
     max_iterations: int = 20
@@ -100,7 +138,7 @@ class ShpPartitioner(Partitioner):
         num_clusters: "int | None" = None,
     ) -> PartitionResult:
         clusters = self.resolve_num_clusters(graph, capacity, num_clusters)
-        rng = make_rng(self.config.seed)
+        entropy = _seed_entropy(self.config.seed)
         vertices = list(range(graph.num_vertices))
         # Edges as lists once; fragments are recomputed per block.
         edges = [list(edge) for edge in graph.edges()]
@@ -122,6 +160,9 @@ class ShpPartitioner(Partitioner):
             if targets <= 1 or len(block) <= 1:
                 assign_block(block)
                 return
+            # At node entry the shared counter equals the first cluster id
+            # this subtree will emit — the node's identity for seeding.
+            rng = _node_rng(entropy, next_cluster[0], targets)
             left_targets = targets // 2
             right_targets = targets - left_targets
             left_size = self._left_size(

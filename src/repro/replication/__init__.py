@@ -15,6 +15,11 @@ placement with replication), all producing a
 
 from .base import ReplicationStrategy, build_layout
 from .scoring import connectivity_scores, hotness_scores
+from .fast_replication import (
+    fast_connectivity_scores,
+    fast_hotness_scores,
+    fast_replica_pages,
+)
 from .connectivity import ConnectivityPriorityStrategy
 from .rpp import RppStrategy
 from .fpr import FprStrategy
@@ -31,4 +36,7 @@ __all__ = [
     "IncrementalReplicator",
     "connectivity_scores",
     "hotness_scores",
+    "fast_connectivity_scores",
+    "fast_hotness_scores",
+    "fast_replica_pages",
 ]

@@ -22,8 +22,10 @@ from typing import List, Tuple
 
 from ..errors import ConfigError
 from ..hypergraph import Hypergraph, vertex_cooccurrence
+from ..partition import edge_connectivities, fast_edge_connectivities
 from ..placement import PageLayout, layout_from_partition
 from .base import ReplicationStrategy
+from .fast_replication import fast_replica_pages
 from .scoring import connectivity_scores, hotness_scores, top_scored_vertices
 
 
@@ -36,6 +38,7 @@ class ConnectivityPriorityStrategy(ReplicationStrategy):
         exclude_home_cluster: bool = True,
         dedupe_pages: bool = True,
         scoring: str = "connectivity",
+        fast: bool = False,
     ) -> None:
         """Args:
         partitioner: base partitioner (defaults to SHP).
@@ -48,6 +51,9 @@ class ConnectivityPriorityStrategy(ReplicationStrategy):
         scoring: ``"connectivity"`` (the paper's Σ(λ−1) score) or
             ``"hotness"`` (pure degree — DESIGN.md ablation #2, which
             degenerates the selection toward RPP's).
+        fast: replicate via the vectorized
+            :mod:`~repro.replication.fast_replication` path (identical
+            pages, CSR arrays instead of per-edge python loops).
         """
         super().__init__(partitioner)
         if scoring not in ("connectivity", "hotness"):
@@ -57,6 +63,7 @@ class ConnectivityPriorityStrategy(ReplicationStrategy):
         self.exclude_home_cluster = exclude_home_cluster
         self.dedupe_pages = dedupe_pages
         self.scoring = scoring
+        self.fast = fast
 
     def build_layout(
         self, graph: Hypergraph, capacity: int, ratio: float
@@ -66,8 +73,15 @@ class ConnectivityPriorityStrategy(ReplicationStrategy):
         budget = self.replica_page_budget(
             graph.num_vertices, capacity, ratio
         )
+        # λ is computed once per build and threaded through scoring.
+        lambdas = None
+        if budget > 0 and self.scoring == "connectivity":
+            connectivity_of = (
+                fast_edge_connectivities if self.fast else edge_connectivities
+            )
+            lambdas = connectivity_of(graph, result.assignment)
         replica_pages = self.build_replica_pages(
-            graph, result.assignment, capacity, budget
+            graph, result.assignment, capacity, budget, lambdas=lambdas
         )
         return layout_from_partition(result, replica_pages)
 
@@ -79,12 +93,24 @@ class ConnectivityPriorityStrategy(ReplicationStrategy):
         assignment: List[int],
         capacity: int,
         budget: int,
+        lambdas: "List[int] | None" = None,
     ) -> List[Tuple[int, ...]]:
         """Steps 2–4: score, select bases, emit one replica page per base."""
         if budget <= 0:
             return []
+        if self.fast:
+            return fast_replica_pages(
+                graph,
+                assignment,
+                capacity,
+                budget,
+                exclude_home_cluster=self.exclude_home_cluster,
+                dedupe_pages=self.dedupe_pages,
+                scoring=self.scoring,
+                lambdas=lambdas,
+            )
         if self.scoring == "connectivity":
-            scores = connectivity_scores(graph, assignment)
+            scores = connectivity_scores(graph, assignment, lambdas=lambdas)
         else:
             scores = hotness_scores(graph)
         bases = top_scored_vertices(scores, budget)

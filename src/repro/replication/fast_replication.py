@@ -1,0 +1,126 @@
+"""Vectorized replica selection over the CSR pin arrays.
+
+Array-backed versions of the replication building blocks, bit-identical
+to their reference counterparts (enforced by the differential suite in
+``tests/test_fast_partition.py``):
+
+* ``fast_connectivity_scores`` — the §5.3 score ``Σ w·(λ−1)`` as one
+  scatter-add of per-edge contributions onto the pins, with λ from
+  :func:`~repro.partition.fast_edge_connectivities` (or passed in, so
+  one offline build computes it once);
+* ``fast_hotness_scores`` — weighted degrees via one scatter-add;
+* ``fast_replica_pages`` — steps 2–4 of the connectivity-priority
+  strategy; the per-base co-occurrence ranking gathers the base's
+  incident edges from the vertex-side CSR, ``np.unique``-aggregates the
+  neighbour counts, and ranks with one ``lexsort`` (count desc,
+  neighbour asc — the reference's ``(count, -neighbour)`` reverse sort).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..hypergraph import Hypergraph, gather_rows
+from ..hypergraph.csr import scatter_add_exact
+from ..partition import fast_edge_connectivities
+from .scoring import top_scored_vertices
+
+INDEX_DTYPE = np.int64
+
+
+def fast_connectivity_scores(
+    graph: Hypergraph,
+    assignment: Sequence[int],
+    lambdas: "Sequence[int] | None" = None,
+) -> List[int]:
+    """Vectorized §5.3 score; identical to ``connectivity_scores``."""
+    if lambdas is None:
+        lambdas = fast_edge_connectivities(graph, assignment)
+    csr = graph.csr()
+    if csr.num_edges == 0:
+        return [0] * graph.num_vertices
+    contribution = (np.asarray(lambdas, dtype=INDEX_DTYPE) - 1) * csr.weights
+    per_pin = np.repeat(contribution, csr.edge_sizes())
+    return scatter_add_exact(
+        csr.pin_vertices, per_pin, graph.num_vertices
+    ).tolist()
+
+
+def fast_hotness_scores(graph: Hypergraph) -> List[int]:
+    """Vectorized weighted degrees; identical to ``hotness_scores``."""
+    csr = graph.csr()
+    if csr.num_edges == 0:
+        return [0] * graph.num_vertices
+    per_pin = np.repeat(csr.weights, csr.edge_sizes())
+    return scatter_add_exact(
+        csr.pin_vertices, per_pin, graph.num_vertices
+    ).tolist()
+
+
+def fast_replica_pages(
+    graph: Hypergraph,
+    assignment: Sequence[int],
+    capacity: int,
+    budget: int,
+    exclude_home_cluster: bool = True,
+    dedupe_pages: bool = True,
+    scoring: str = "connectivity",
+    lambdas: "Sequence[int] | None" = None,
+) -> List[Tuple[int, ...]]:
+    """Steps 2–4 of :class:`ConnectivityPriorityStrategy`, vectorized."""
+    if budget <= 0:
+        return []
+    if scoring == "connectivity":
+        scores = fast_connectivity_scores(graph, assignment, lambdas=lambdas)
+    else:
+        scores = fast_hotness_scores(graph)
+    bases = top_scored_vertices(scores, budget)
+    assignment_arr = np.asarray(assignment, dtype=INDEX_DTYPE)
+    pages: List[Tuple[int, ...]] = []
+    seen = set()
+    for base in bases:
+        page = _fast_replica_page(
+            graph, assignment_arr, capacity, base, exclude_home_cluster
+        )
+        if len(page) < 2:
+            # A lone base replicates nothing useful (see the reference).
+            continue
+        canon = frozenset(page)
+        if dedupe_pages and canon in seen:
+            continue
+        seen.add(canon)
+        pages.append(page)
+        if len(pages) >= budget:
+            break
+    return pages
+
+
+def _fast_replica_page(
+    graph: Hypergraph,
+    assignment_arr: np.ndarray,
+    capacity: int,
+    base: int,
+    exclude_home_cluster: bool,
+) -> Tuple[int, ...]:
+    """One replica page: base + its d−1 most frequent co-neighbours."""
+    csr = graph.csr()
+    edge_ids = csr.edges_of_vertex(base)
+    if len(edge_ids) == 0:
+        return (base,)
+    neighbours, lengths = gather_rows(
+        csr.edge_indptr, csr.pin_vertices, edge_ids
+    )
+    per_pin_weight = np.repeat(csr.weights[edge_ids], lengths)
+    keep = neighbours != base
+    if exclude_home_cluster:
+        keep &= assignment_arr[neighbours] != assignment_arr[base]
+    neighbours = neighbours[keep]
+    if len(neighbours) == 0:
+        return (base,)
+    unique, inverse = np.unique(neighbours, return_inverse=True)
+    counts = scatter_add_exact(inverse, per_pin_weight[keep], len(unique))
+    ranked = np.lexsort((unique, -counts))  # count desc, neighbour asc
+    companions = unique[ranked[: capacity - 1]]
+    return tuple([int(base)] + [int(v) for v in companions])

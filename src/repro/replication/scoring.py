@@ -15,6 +15,7 @@ and as a scoring ablation.
 
 from __future__ import annotations
 
+import heapq
 from typing import List, Sequence
 
 from ..hypergraph import Hypergraph
@@ -22,10 +23,17 @@ from ..partition import edge_connectivities
 
 
 def connectivity_scores(
-    graph: Hypergraph, assignment: Sequence[int]
+    graph: Hypergraph,
+    assignment: Sequence[int],
+    lambdas: "Sequence[int] | None" = None,
 ) -> List[int]:
-    """MaxEmbed §5.3 score: Σ over incident edges of weight · (λ − 1)."""
-    lambdas = edge_connectivities(graph, assignment)
+    """MaxEmbed §5.3 score: Σ over incident edges of weight · (λ − 1).
+
+    ``lambdas`` lets the offline build compute the per-edge
+    connectivities once and share them with every consumer.
+    """
+    if lambdas is None:
+        lambdas = edge_connectivities(graph, assignment)
     scores = [0] * graph.num_vertices
     for eid, edge, weight in graph.edge_items():
         contribution = (lambdas[eid] - 1) * weight
@@ -50,8 +58,11 @@ def top_scored_vertices(scores: Sequence[int], count: int) -> List[int]:
     """
     if count <= 0:
         return []
-    ranked = sorted(
+    # Partial selection: O(V log count) instead of sorting every
+    # positive-score vertex; nsmallest returns its result ordered by the
+    # key, so the ranking matches the full sort exactly.
+    return heapq.nsmallest(
+        count,
         (v for v, s in enumerate(scores) if s > 0),
         key=lambda v: (-scores[v], v),
     )
-    return ranked[:count]

@@ -250,9 +250,19 @@ class TestTable1:
         result = table1_partition_time.run(
             datasets=("criteo",), dims=(64, 32), **SMALL
         )
-        row = result.rows[0]
-        assert len(row) == 3
-        assert all(cell >= 0 for cell in row[1:])
+        assert len(result.rows) == 2  # one row per offline path
+        assert [row[1] for row in result.rows] == ["reference", "fast"]
+        for row in result.rows:
+            assert row[0] == "criteo"
+            assert len(row) == 4
+            assert all(cell >= 0 for cell in row[2:])
+
+    def test_single_path(self):
+        result = table1_partition_time.run(
+            datasets=("criteo",), dims=(64,), paths=("fast",), **SMALL
+        )
+        assert len(result.rows) == 1
+        assert result.rows[0][1] == "fast"
 
 
 class TestTable2:

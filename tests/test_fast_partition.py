@@ -1,0 +1,232 @@
+"""Differential tests: the fast offline pipeline vs the reference loops.
+
+The fast path's whole contract is bit-identity — same
+``PartitionResult``, same scores, same replica pages, same final
+``PageLayout`` — so every test here builds both and compares, with
+hypothesis generating the traces.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import Query, QueryTrace, ShpConfig, ShpPartitioner
+from repro.core import MaxEmbedConfig, build_offline_layout
+from repro.hypergraph import (
+    HypergraphCsr,
+    build_weighted_hypergraph,
+    gather_rows,
+)
+from repro.hypergraph.csr import scatter_add_exact
+from repro.partition import (
+    FastShpPartitioner,
+    edge_connectivities,
+    fast_edge_connectivities,
+)
+from repro.replication import (
+    ConnectivityPriorityStrategy,
+    connectivity_scores,
+    fast_connectivity_scores,
+    fast_hotness_scores,
+    fast_replica_pages,
+    hotness_scores,
+)
+
+SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def traces(draw, max_keys=60, max_queries=40):
+    """A small random trace where every key appears in some query."""
+    num_keys = draw(st.integers(min_value=4, max_value=max_keys))
+    num_queries = draw(st.integers(min_value=1, max_value=max_queries))
+    key = st.integers(min_value=0, max_value=num_keys - 1)
+    queries = draw(
+        st.lists(
+            st.lists(key, min_size=1, max_size=8, unique=True),
+            min_size=num_queries,
+            max_size=num_queries,
+        )
+    )
+    return QueryTrace(num_keys, [Query(tuple(q)) for q in queries])
+
+
+def _graph(trace):
+    return build_weighted_hypergraph(trace)
+
+
+class TestCsrRoundTrip:
+    @SETTINGS
+    @given(traces())
+    def test_csr_matches_graph(self, trace):
+        graph = _graph(trace)
+        csr = graph.csr()
+        assert csr is graph.csr()  # cached on the graph
+        assert csr.num_vertices == graph.num_vertices
+        assert csr.num_edges == graph.num_edges
+        for eid, edge, weight in graph.edge_items():
+            assert csr.vertices_of_edge(eid).tolist() == list(edge)
+            assert int(csr.weights[eid]) == weight
+        for v in range(graph.num_vertices):
+            assert sorted(csr.edges_of_vertex(v).tolist()) == sorted(
+                graph.vertex_edges(v)
+            )
+
+    def test_gather_rows(self):
+        indptr = np.array([0, 2, 2, 5], dtype=np.int64)
+        values = np.array([10, 11, 20, 21, 22], dtype=np.int64)
+        gathered, lengths = gather_rows(
+            indptr, values, np.array([2, 0], dtype=np.int64)
+        )
+        assert gathered.tolist() == [20, 21, 22, 10, 11]
+        assert lengths.tolist() == [3, 2]
+
+    def test_scatter_add_exact_large_weights(self):
+        # Past the float53 window the implementation must stay exact.
+        index = np.array([0, 0, 1], dtype=np.int64)
+        values = np.array([2**60, 3, 5], dtype=np.int64)
+        out = scatter_add_exact(index, values, 2)
+        assert out.tolist() == [2**60 + 3, 5]
+
+
+class TestFastShpParity:
+    @SETTINGS
+    @given(
+        traces(),
+        st.integers(min_value=0, max_value=2**31),
+        st.sampled_from([2, 3, 4, 8]),
+        st.sampled_from([0, 8, 48, 1000]),
+    )
+    def test_partition_identical(self, trace, seed, capacity, kl_threshold):
+        graph = _graph(trace)
+        config = ShpConfig(seed=seed, kl_threshold=kl_threshold)
+        reference = ShpPartitioner(config).partition(graph, capacity)
+        fast = FastShpPartitioner(config, workers=1).partition(
+            graph, capacity
+        )
+        assert fast == reference
+
+    def test_worker_count_invariance(self):
+        rng = np.random.default_rng(11)
+        queries = [
+            Query(tuple(rng.choice(900, size=6, replace=False).tolist()))
+            for _ in range(700)
+        ]
+        trace = QueryTrace(900, queries)
+        graph = _graph(trace)
+        config = ShpConfig(seed=5)
+        serial = FastShpPartitioner(config, workers=1).partition(graph, 8)
+        parallel = FastShpPartitioner(config, workers=3).partition(graph, 8)
+        assert parallel == serial
+        assert serial == ShpPartitioner(config).partition(graph, 8)
+
+    @SETTINGS
+    @given(traces())
+    def test_generator_seed_parity(self, trace):
+        # Generator seeds draw their entropy identically on both paths.
+        graph = _graph(trace)
+        ref_cfg = ShpConfig(seed=np.random.default_rng(3))
+        fast_cfg = ShpConfig(seed=np.random.default_rng(3))
+        reference = ShpPartitioner(ref_cfg).partition(graph, 4)
+        fast = FastShpPartitioner(fast_cfg, workers=1).partition(graph, 4)
+        assert fast == reference
+
+
+class TestFastMetricsAndScoring:
+    @SETTINGS
+    @given(traces(), st.sampled_from([2, 4, 8]))
+    def test_lambda_and_scores_identical(self, trace, capacity):
+        graph = _graph(trace)
+        assignment = (
+            ShpPartitioner(ShpConfig(seed=1))
+            .partition(graph, capacity)
+            .assignment
+        )
+        ref_lambdas = edge_connectivities(graph, assignment)
+        assert fast_edge_connectivities(graph, assignment) == ref_lambdas
+        assert fast_connectivity_scores(
+            graph, assignment
+        ) == connectivity_scores(graph, assignment)
+        assert fast_connectivity_scores(
+            graph, assignment, lambdas=ref_lambdas
+        ) == connectivity_scores(graph, assignment, lambdas=ref_lambdas)
+        assert fast_hotness_scores(graph) == hotness_scores(graph)
+
+    @SETTINGS
+    @given(
+        traces(),
+        st.sampled_from([2, 4, 8]),
+        st.integers(min_value=0, max_value=12),
+        st.booleans(),
+        st.sampled_from(["connectivity", "hotness"]),
+    )
+    def test_replica_pages_identical(
+        self, trace, capacity, budget, exclude_home, scoring
+    ):
+        graph = _graph(trace)
+        assignment = (
+            ShpPartitioner(ShpConfig(seed=2))
+            .partition(graph, capacity)
+            .assignment
+        )
+        reference = ConnectivityPriorityStrategy(
+            exclude_home_cluster=exclude_home, scoring=scoring
+        ).build_replica_pages(graph, assignment, capacity, budget)
+        fast = fast_replica_pages(
+            graph,
+            assignment,
+            capacity,
+            budget,
+            exclude_home_cluster=exclude_home,
+            scoring=scoring,
+        )
+        assert fast == reference
+
+
+class TestEndToEndLayoutParity:
+    @pytest.mark.parametrize("strategy", ["maxembed", "none", "rpp", "fpr"])
+    def test_build_offline_layout_identical(self, strategy):
+        rng = np.random.default_rng(23)
+        queries = [
+            Query(tuple(rng.choice(300, size=5, replace=False).tolist()))
+            for _ in range(400)
+        ]
+        trace = QueryTrace(300, queries)
+        reference = build_offline_layout(
+            trace,
+            MaxEmbedConfig(strategy=strategy, offline_path="reference"),
+        )
+        fast = build_offline_layout(
+            trace,
+            MaxEmbedConfig(
+                strategy=strategy, offline_path="fast", offline_workers=1
+            ),
+        )
+        assert fast.pages() == reference.pages()
+        assert fast.num_base_pages == reference.num_base_pages
+
+    def test_offline_path_validated(self):
+        with pytest.raises(Exception):
+            MaxEmbedConfig(offline_path="turbo")
+        with pytest.raises(Exception):
+            MaxEmbedConfig(offline_workers=-1)
+
+
+class TestHypergraphCsrValidation:
+    def test_rejects_out_of_range_pins(self):
+        with pytest.raises(Exception):
+            HypergraphCsr(
+                num_vertices=2,
+                edge_indptr=np.array([0, 1], dtype=np.int64),
+                pin_vertices=np.array([5], dtype=np.int64),
+                vertex_indptr=np.array([0, 0, 1], dtype=np.int64),
+                vertex_edges=np.array([0], dtype=np.int64),
+                weights=np.array([1], dtype=np.int64),
+            )
