@@ -54,6 +54,16 @@ from .faults import (
     FaultySsd,
 )
 from .hypergraph import Hypergraph, build_hypergraph, build_weighted_hypergraph
+from .overload import (
+    ADMISSION_POLICIES,
+    AdmissionConfig,
+    AdmissionQueue,
+    BrownoutConfig,
+    BrownoutController,
+    DegradeConfig,
+    DegradeLevel,
+    default_ladder,
+)
 from .metrics import evaluate_placement, read_amplification
 from .partition import (
     FastShpPartitioner,
@@ -151,6 +161,15 @@ __all__ = [
     "PipelinedExecutor",
     "SerialExecutor",
     "RetryPolicy",
+    # overload
+    "ADMISSION_POLICIES",
+    "AdmissionConfig",
+    "AdmissionQueue",
+    "BrownoutConfig",
+    "BrownoutController",
+    "DegradeConfig",
+    "DegradeLevel",
+    "default_ladder",
     # faults
     "FaultPlan",
     "FaultInjector",

@@ -9,6 +9,8 @@ Subcommands::
     maxembed diagnose  --layout layout.json [--trace trace.txt]
     maxembed serve     --trace trace.txt --layout layout.json
     maxembed serve     --trace trace.txt --layout cluster.json --shards 4
+    maxembed serve     --trace trace.txt --layout layout.json \\
+                       --offered-qps 50000 --admission-capacity 64 --brownout
     maxembed experiment fig8 [--scale small]
     maxembed experiments [--scale small]
 
@@ -148,6 +150,45 @@ def _add_serve(subparsers) -> None:
         help="per-shard gather deadline in simulated microseconds; a "
         "fragment slower than this is dropped (its keys go missing)",
     )
+    p.add_argument(
+        "--offered-qps",
+        type=float,
+        default=None,
+        help="run an open-loop simulation at this Poisson arrival rate "
+        "instead of the closed-loop replay",
+    )
+    p.add_argument(
+        "--warmup-fraction",
+        type=float,
+        default=0.1,
+        help="head fraction of the stream excluded from open-loop metrics",
+    )
+    p.add_argument(
+        "--admission-capacity",
+        type=int,
+        default=None,
+        help="bound the open-loop arrival queue at this many waiters "
+        "(default: unbounded — no shedding)",
+    )
+    p.add_argument(
+        "--admission-policy",
+        default="tail",
+        choices=["tail", "deadline", "priority"],
+        help="shed policy when the bounded queue is full",
+    )
+    p.add_argument(
+        "--admission-deadline-us",
+        type=float,
+        default=None,
+        help="max simulated queue wait; required by "
+        "`--admission-policy deadline`",
+    )
+    p.add_argument(
+        "--brownout",
+        action="store_true",
+        help="enable the brownout controller: step queries down the "
+        "graceful-degradation ladder under sustained latency pressure",
+    )
 
 
 def _add_experiments(subparsers) -> None:
@@ -270,6 +311,54 @@ def _fault_options(args) -> dict:
     return options
 
 
+def _overload_options(args) -> dict:
+    """OpenLoopSimulator kwargs for the serve command's overload flags."""
+    from .overload import AdmissionConfig, BrownoutConfig
+
+    options: dict = {}
+    if getattr(args, "admission_capacity", None) is not None:
+        options["admission"] = AdmissionConfig(
+            capacity=args.admission_capacity,
+            policy=args.admission_policy,
+            queue_deadline_us=args.admission_deadline_us,
+        )
+    if getattr(args, "brownout", False):
+        options["brownout"] = BrownoutConfig()
+    return options
+
+
+def _serve_open_loop(engine, trace, args) -> int:
+    """Open-loop replay (with optional admission control / brownout)."""
+    from .serving import OpenLoopSimulator
+
+    simulator = OpenLoopSimulator(engine, seed=0, **_overload_options(args))
+    report = simulator.run(
+        trace.queries,
+        args.offered_qps,
+        warmup_fraction=args.warmup_fraction,
+    )
+    print(
+        format_mapping(
+            f"open-loop report ({args.offered_qps:g} qps offered)",
+            {
+                "offered": report.offered_count(),
+                "completed": len(report.results),
+                "achieved_qps": round(report.achieved_qps()),
+                "goodput_qps": round(report.goodput_qps()),
+                "mean_latency_us": round(report.mean_latency_us(), 2),
+                "p99_latency_us": round(report.percentile_latency_us(99), 2),
+                "mean_queue_wait_us": round(report.mean_queue_wait_us(), 2),
+                "shed": report.shed_count,
+                "deadline_misses": report.deadline_misses,
+                "degraded_completions": report.degraded_count(),
+                "brownout_transitions": len(report.brownout_transitions),
+                "final_degrade_level": report.final_degrade_level,
+            },
+        )
+    )
+    return 0
+
+
 def _cmd_serve_cluster(args, trace) -> int:
     from .cluster import ClusterEngine, load_sharded_layout
     from .serving import EngineConfig
@@ -306,6 +395,8 @@ def _cmd_serve_cluster(args, trace) -> int:
             **_fault_options(args),
         ),
     )
+    if args.offered_qps is not None:
+        return _serve_open_loop(engine, trace, args)
     cluster = engine.serve_trace(trace)
     print(
         format_mapping(
@@ -337,6 +428,24 @@ def _cmd_serve(args) -> int:
     layout = load_layout(args.layout)
     fault_options = _fault_options(args)
     fault_options.pop("shard_deadline_us", None)  # cluster-only knob
+    if args.offered_qps is not None:
+        from .serving import EngineConfig, ServingEngine
+
+        engine = ServingEngine(
+            layout,
+            EngineConfig(
+                spec=EmbeddingSpec(dim=args.dim),
+                cache_ratio=args.cache_ratio,
+                cache_policy=args.cache_policy,
+                index_limit=args.index_limit,
+                selector=args.selector,
+                fast_selection=args.selection_path == "fast",
+                executor=args.executor,
+                threads=args.threads,
+                **fault_options,
+            ),
+        )
+        return _serve_open_loop(engine, trace, args)
     if fault_options:
         from .serving import EngineConfig, ServingEngine
 

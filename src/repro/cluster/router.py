@@ -33,6 +33,15 @@ unit; page-level faults are handled inside each shard engine by
 * **strict mode** (no breaker) — a worker exception cancels the query's
   outstanding fragment futures and raises
   :class:`~repro.errors.ShardUnavailableError` naming the failing shard.
+
+Overload behaviour: ``serve_query`` accepts a degradation-ladder rung
+(:class:`~repro.overload.DegradeLevel`).  The rung is forwarded to every
+shard engine (which caps pages, skips cold keys, or serves cache-only),
+and its ``fanout_cap`` is applied *here*: when a scattered query touches
+more shards than the cap, only the largest fragments are dispatched and
+the rest are shed whole (keys missing, counted as intentional
+degradation shedding) — the shard-level load-shedding analogue of the
+deadline's partial gather.
 """
 
 from __future__ import annotations
@@ -60,6 +69,7 @@ SHARD_OK = "ok"
 SHARD_TIMEOUT = "timeout"
 SHARD_SKIPPED = "skipped"
 SHARD_ERROR = "error"
+SHARD_SHED = "shed"
 
 
 class ClusterEngine:
@@ -173,7 +183,11 @@ class ClusterEngine:
 
     @staticmethod
     def _unserved_result(
-        fragment: Query, start_us: float, finish_us: float
+        fragment: Query,
+        start_us: float,
+        finish_us: float,
+        degrade_level: int = 0,
+        shed: bool = False,
     ) -> QueryResult:
         """A fully degraded fragment: every key missing, nothing read."""
         n = len(fragment.unique_keys())
@@ -186,9 +200,11 @@ class ClusterEngine:
             start_us=start_us,
             finish_us=finish_us,
             missing_keys=n,
+            degrade_level=degrade_level,
+            degrade_shed_keys=n if shed else 0,
         )
 
-    def _gather(self, dispatch, start_us: float):
+    def _gather(self, dispatch, start_us: float, degrade=None):
         """Run the dispatched fragments; return shard → result-or-exception.
 
         Uses the scatter pool when available; in strict mode the first
@@ -198,6 +214,10 @@ class ClusterEngine:
         serial path for the remaining fragments.
         """
         raw: Dict[int, object] = {}
+        # A None degrade is not forwarded at all, so engines (or test
+        # doubles) with the pre-overload two-argument signature keep
+        # working and the disabled path stays call-identical.
+        extra = () if degrade is None else (degrade,)
         pool = self._pool
         if pool is not None and len(dispatch) > 1:
             futures = []
@@ -210,6 +230,7 @@ class ClusterEngine:
                                 self.engines[shard].serve_query,
                                 fragment,
                                 start_us,
+                                *extra,
                             ),
                         )
                     )
@@ -245,7 +266,7 @@ class ClusterEngine:
         for shard, fragment in dispatch:
             try:
                 raw[shard] = self.engines[shard].serve_query(
-                    fragment, start_us
+                    fragment, start_us, *extra
                 )
             except Exception as exc:  # noqa: BLE001 - rewrapped below
                 if self.resilient:
@@ -259,18 +280,42 @@ class ClusterEngine:
         return raw
 
     def _serve_scattered(
-        self, query: Query, start_us: float
+        self, query: Query, start_us: float, degrade=None
     ) -> Tuple[QueryResult, Dict[int, QueryResult], Dict[int, str]]:
         """Serve one query; return (gathered, per-shard results, events).
 
         ``events`` maps each touched shard to one of :data:`SHARD_OK`,
-        :data:`SHARD_TIMEOUT`, :data:`SHARD_SKIPPED` (breaker open) or
-        :data:`SHARD_ERROR` (resilient-mode worker exception).
+        :data:`SHARD_TIMEOUT`, :data:`SHARD_SKIPPED` (breaker open),
+        :data:`SHARD_ERROR` (resilient-mode worker exception) or
+        :data:`SHARD_SHED` (fragment dropped by a degraded fan-out cap).
         """
         fragments = self.scatter(query)
-        items = sorted(fragments.items())
+        all_items = items = sorted(fragments.items())
         sub_results: Dict[int, QueryResult] = {}
         events: Dict[int, str] = {}
+        if degrade is not None and degrade.is_noop:
+            degrade = None
+        fanout_cap = degrade.fanout_cap if degrade is not None else None
+        if fanout_cap is not None and len(items) > fanout_cap:
+            # Keep the shards carrying the most keys (ties: lower shard
+            # id); shed the small fragments whole — their keys buy the
+            # least coverage per gather slot.
+            ranked = sorted(
+                items,
+                key=lambda item: (-len(item[1].unique_keys()), item[0]),
+            )
+            kept = {shard for shard, _ in ranked[:fanout_cap]}
+            for shard, fragment in items:
+                if shard not in kept:
+                    sub_results[shard] = self._unserved_result(
+                        fragment,
+                        start_us,
+                        start_us,
+                        degrade_level=degrade.level,
+                        shed=True,
+                    )
+                    events[shard] = SHARD_SHED
+            items = [item for item in items if item[0] in kept]
         dispatch = []
         for shard, fragment in items:
             breaker = self.breakers[shard] if self.breakers else None
@@ -281,7 +326,7 @@ class ClusterEngine:
                 events[shard] = SHARD_SKIPPED
             else:
                 dispatch.append((shard, fragment))
-        raw = self._gather(dispatch, start_us)
+        raw = self._gather(dispatch, start_us, degrade)
         deadline = self.config.shard_deadline_us
         for shard, fragment in dispatch:
             breaker = self.breakers[shard] if self.breakers else None
@@ -305,13 +350,20 @@ class ClusterEngine:
                 events[shard] = SHARD_OK
                 if breaker is not None:
                     breaker.record_success(outcome.finish_us)
-        ordered = {shard: sub_results[shard] for shard, _ in items}
+        ordered = {shard: sub_results[shard] for shard, _ in all_items}
         merged = merge_shard_results(list(ordered.values()))
         return merged, ordered, events
 
-    def serve_query(self, query: Query, start_us: float = 0.0) -> QueryResult:
-        """Serve one query across its shards; finish at the slowest one."""
-        merged, _, _ = self._serve_scattered(query, start_us)
+    def serve_query(
+        self, query: Query, start_us: float = 0.0, degrade=None
+    ) -> QueryResult:
+        """Serve one query across its shards; finish at the slowest one.
+
+        ``degrade`` forwards a degradation-ladder rung to every shard
+        engine and applies its ``fanout_cap`` at the router (None or a
+        no-op rung serves through the untouched full path).
+        """
+        merged, _, _ = self._serve_scattered(query, start_us, degrade)
         return merged
 
     # -- whole trace ------------------------------------------------------------
@@ -320,6 +372,7 @@ class ClusterEngine:
         self,
         trace: "QueryTrace | List[Query]",
         warmup_queries: int = 0,
+        degrade=None,
     ) -> ClusterReport:
         """Closed-loop simulation of the trace over ``threads`` workers.
 
@@ -327,6 +380,9 @@ class ClusterEngine:
         returned :class:`ClusterReport` adds per-shard load counters,
         straggler metrics, and fault-domain accounting (timeouts, breaker
         skips, per-shard coverage) on top of the merged serving report.
+        ``degrade`` pins every query to one degradation-ladder rung
+        (fan-out caps surface as ``shard_shed`` counters); None serves
+        at full service, unchanged from earlier releases.
         """
         queries = list(trace)
         if not queries:
@@ -348,6 +404,7 @@ class ClusterEngine:
         shard_timeouts = [0] * self.num_shards
         shard_skipped = [0] * self.num_shards
         shard_errors = [0] * self.num_shards
+        shard_shed = [0] * self.num_shards
         fanouts: List[int] = []
         max_shard_latency: List[float] = []
         straggler: List[float] = []
@@ -355,11 +412,12 @@ class ClusterEngine:
             SHARD_TIMEOUT: shard_timeouts,
             SHARD_SKIPPED: shard_skipped,
             SHARD_ERROR: shard_errors,
+            SHARD_SHED: shard_shed,
         }
         for index, query in enumerate(queries):
             ready, thread = heapq.heappop(workers)
             merged, subs, events = self._serve_scattered(
-                query, start_us=ready
+                query, start_us=ready, degrade=degrade
             )
             heapq.heappush(workers, (merged.finish_us, thread))
             if index < warmup_queries:
@@ -408,6 +466,7 @@ class ClusterEngine:
             shard_timeouts=shard_timeouts,
             shard_skipped=shard_skipped,
             shard_errors=shard_errors,
+            shard_shed=shard_shed,
             breaker_states=breaker_states,
             breaker_transitions=breaker_transitions,
         )

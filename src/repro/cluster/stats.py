@@ -47,6 +47,8 @@ class ClusterReport:
         shard_skipped: fragments rejected by an open circuit breaker.
         shard_errors: fragments lost to worker exceptions (resilient
             mode only; strict mode raises instead).
+        shard_shed: fragments shed whole by a degraded fan-out cap
+            (overload shedding, not a fault).
         breaker_states: final breaker state per shard ([] = no breakers).
         breaker_transitions: full per-shard breaker transition history
             (lists of :class:`~repro.faults.BreakerTransition`).
@@ -67,6 +69,7 @@ class ClusterReport:
     shard_timeouts: List[int] = field(default_factory=list)
     shard_skipped: List[int] = field(default_factory=list)
     shard_errors: List[int] = field(default_factory=list)
+    shard_shed: List[int] = field(default_factory=list)
     breaker_states: List[str] = field(default_factory=list)
     breaker_transitions: List[List] = field(default_factory=list)
 
@@ -169,5 +172,8 @@ class ClusterReport:
             "shard_timeouts": sum(self.shard_timeouts),
             "shard_skipped": sum(self.shard_skipped),
             "shard_errors": sum(self.shard_errors),
+            "shard_shed": sum(self.shard_shed),
+            "degraded_mode_queries": self.report.degraded_mode_queries(),
+            "degrade_shed_keys": self.report.total_degrade_shed_keys,
             "breaker_transitions": self.total_breaker_transitions(),
         }

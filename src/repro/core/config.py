@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..errors import ConfigError
+from ..overload import ADMISSION_POLICIES, AdmissionConfig
 from ..partition import ShpConfig
 from ..serving import CpuCostModel
 from ..ssd import P5800X, SsdProfile
@@ -58,6 +59,16 @@ class MaxEmbedConfig:
         offline_workers: processes for the fast path's parallel bisection
             subtrees (``None`` = one per CPU, ``0``/``1`` = serial; the
             layout is identical for every worker count).
+        admission_capacity: bound on the open-loop arrival queue
+            (``None`` disables admission control entirely — serving is
+            bit-identical to earlier releases).
+        admission_policy: shedding policy when the queue is full:
+            ``"tail"``, ``"deadline"``, or ``"priority"`` (see
+            :mod:`repro.overload`).
+        admission_deadline_us: per-request queueing deadline; required
+            by the ``"deadline"`` policy.
+        brownout: enable the brownout controller, which steps queries
+            down a graceful-degradation ladder under sustained pressure.
         seed: base RNG seed for every stochastic component.
     """
 
@@ -82,6 +93,10 @@ class MaxEmbedConfig:
     build_workers: Optional[int] = None
     offline_path: str = "fast"
     offline_workers: Optional[int] = 1
+    admission_capacity: Optional[int] = None
+    admission_policy: str = "tail"
+    admission_deadline_us: Optional[float] = None
+    brownout: bool = False
     seed: int = 0
 
     _STRATEGIES = ("maxembed", "rpp", "fpr", "none")
@@ -128,6 +143,24 @@ class MaxEmbedConfig:
             raise ConfigError(
                 f"offline_workers must be >= 0, got {self.offline_workers}"
             )
+        if self.admission_policy not in ADMISSION_POLICIES:
+            raise ConfigError(
+                f"unknown admission policy {self.admission_policy!r}; "
+                f"choose from {ADMISSION_POLICIES}"
+            )
+        # Eagerly validate the knob combination (capacity bounds,
+        # deadline-policy-needs-a-deadline) at config construction.
+        self.admission_config()
+
+    def admission_config(self) -> Optional[AdmissionConfig]:
+        """The admission-control config, or None when disabled."""
+        if self.admission_capacity is None:
+            return None
+        return AdmissionConfig(
+            capacity=self.admission_capacity,
+            policy=self.admission_policy,
+            queue_deadline_us=self.admission_deadline_us,
+        )
 
     @property
     def page_capacity(self) -> int:

@@ -1,0 +1,49 @@
+"""Overload resilience: admission control, load shedding, brownout.
+
+PR 3 made the stack resilient to *device* faults; this package makes it
+resilient to *traffic* faults.  An open-loop arrival process offered
+past capacity has only bad options — the classic congestion collapse is
+to queue every request and serve all of them late.  The defenses here
+trade a little work for bounded latency, deterministically:
+
+* :class:`AdmissionConfig` / :class:`AdmissionQueue` — a bounded arrival
+  queue with per-request queue deadlines and pluggable shed policies
+  (``tail`` drop, ``deadline`` drop, ``priority`` drop by query
+  hotness), so excess work is rejected instead of queued forever;
+* :class:`DegradeLevel` / :class:`DegradeConfig` — a ladder of degraded
+  serving modes (cap pages-per-query, serve only replicated hot keys,
+  cache-only) that trade coverage for bounded service time;
+* :class:`BrownoutController` — a deterministic feedback loop over a
+  sliding-window latency quantile and the queue depth that steps the
+  degradation level up and down with hysteresis, in the state-machine
+  style of :class:`~repro.faults.CircuitBreaker`.
+
+Everything runs on simulated time and plain data, so an overloaded
+replay is bit-reproducible; with admission control and brownout left
+unconfigured (the default) the serving paths are untouched and
+bit-identical to a build without this package.
+"""
+
+from .admission import (
+    ADMISSION_POLICIES,
+    AdmissionConfig,
+    AdmissionQueue,
+    QueueEntry,
+    engine_hotness,
+)
+from .brownout import BrownoutConfig, BrownoutController, BrownoutTransition
+from .degrade import DegradeConfig, DegradeLevel, default_ladder
+
+__all__ = [
+    "ADMISSION_POLICIES",
+    "AdmissionConfig",
+    "AdmissionQueue",
+    "QueueEntry",
+    "engine_hotness",
+    "BrownoutConfig",
+    "BrownoutController",
+    "BrownoutTransition",
+    "DegradeConfig",
+    "DegradeLevel",
+    "default_ladder",
+]

@@ -1,0 +1,181 @@
+"""Brownout controller: a hysteresis feedback loop over the degrade ladder.
+
+The controller watches two pressure signals — a sliding-window latency
+quantile over recent completions and the instantaneous admission-queue
+depth — and steps the degradation level up or down one rung at a time.
+It is the traffic-domain sibling of the fault-domain
+:class:`~repro.faults.CircuitBreaker`: the same deterministic
+state-machine discipline (simulated time only, every transition recorded
+with its timestamp), but over an ordered ladder instead of three states.
+
+Oscillation is damped three ways:
+
+* **split watermarks** — the level steps up above ``high_watermark_us``
+  but only steps down below the *lower* ``low_watermark_us``;
+* **dwell time** — after any transition the level holds for at least
+  ``dwell_us`` of simulated time;
+* **cool-down count** — stepping down additionally requires
+  ``cool_down_observations`` consecutive calm completions, so one lucky
+  fast query cannot un-shed a saturated engine.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Tuning knobs for one brownout controller.
+
+    Attributes:
+        high_watermark_us: windowed latency quantile above which the
+            degradation level steps up.
+        low_watermark_us: quantile below which the level may step down
+            (must be below the high watermark — that gap *is* the
+            hysteresis band).
+        window: completions in the sliding latency window.
+        quantile: which latency quantile to watch (default p99).
+        queue_high: queue depth that also counts as pressure (None =
+            latency-only control).
+        dwell_us: minimum simulated time between level changes.
+        cool_down_observations: consecutive calm completions required
+            before stepping down.
+    """
+
+    high_watermark_us: float = 1_000.0
+    low_watermark_us: float = 400.0
+    window: int = 64
+    quantile: float = 0.99
+    queue_high: Optional[int] = None
+    dwell_us: float = 10_000.0
+    cool_down_observations: int = 16
+
+    def __post_init__(self) -> None:
+        if self.high_watermark_us <= 0:
+            raise ConfigError(
+                f"high_watermark_us must be positive, got "
+                f"{self.high_watermark_us}"
+            )
+        if not 0 < self.low_watermark_us < self.high_watermark_us:
+            raise ConfigError(
+                f"low_watermark_us must be in (0, high_watermark_us), got "
+                f"{self.low_watermark_us}"
+            )
+        if self.window < 1:
+            raise ConfigError(f"window must be >= 1, got {self.window}")
+        if not 0.0 < self.quantile <= 1.0:
+            raise ConfigError(
+                f"quantile must be in (0, 1], got {self.quantile}"
+            )
+        if self.queue_high is not None and self.queue_high < 1:
+            raise ConfigError(
+                f"queue_high must be >= 1, got {self.queue_high}"
+            )
+        if self.dwell_us < 0:
+            raise ConfigError(f"dwell_us must be >= 0, got {self.dwell_us}")
+        if self.cool_down_observations < 1:
+            raise ConfigError(
+                f"cool_down_observations must be >= 1, got "
+                f"{self.cool_down_observations}"
+            )
+
+
+@dataclass(frozen=True)
+class BrownoutTransition:
+    """One recorded level change."""
+
+    at_us: float
+    from_level: int
+    to_level: int
+    signal_us: float
+
+
+class BrownoutController:
+    """Deterministic ladder-stepping controller on simulated time."""
+
+    def __init__(
+        self, config: "BrownoutConfig | None" = None, max_level: int = 3
+    ) -> None:
+        if max_level < 0:
+            raise ConfigError(f"max_level must be >= 0, got {max_level}")
+        self.config = config or BrownoutConfig()
+        self.max_level = max_level
+        self._level = 0
+        self._window: Deque[float] = deque(maxlen=self.config.window)
+        self._last_change_us: Optional[float] = None
+        self._calm_streak = 0
+        self.transitions: List[BrownoutTransition] = []
+
+    @property
+    def level(self) -> int:
+        """Current degradation level (0 = full service)."""
+        return self._level
+
+    def signal_us(self) -> float:
+        """The windowed latency quantile the watermarks compare against.
+
+        Deterministic nearest-rank quantile (no interpolation), so the
+        controller's decisions are independent of float library details.
+        """
+        if not self._window:
+            return 0.0
+        ordered = sorted(self._window)
+        rank = math.ceil(self.config.quantile * len(ordered)) - 1
+        return ordered[max(0, min(rank, len(ordered) - 1))]
+
+    def _can_change(self, now_us: float) -> bool:
+        return (
+            self._last_change_us is None
+            or now_us - self._last_change_us >= self.config.dwell_us
+        )
+
+    def _transition(self, to_level: int, now_us: float, signal: float) -> None:
+        self.transitions.append(
+            BrownoutTransition(now_us, self._level, to_level, signal)
+        )
+        self._level = to_level
+        self._last_change_us = now_us
+
+    # -- feedback --------------------------------------------------------------
+
+    def observe(
+        self, latency_us: float, queue_depth: int, now_us: float
+    ) -> int:
+        """Feed one completion; returns the (possibly updated) level.
+
+        Args:
+            latency_us: the completion's arrival-to-finish latency.
+            queue_depth: admission-queue backlog at observation time.
+            now_us: simulated observation time (must be non-decreasing
+                across calls — the simulator observes in dispatch order).
+        """
+        self._window.append(latency_us)
+        signal = self.signal_us()
+        config = self.config
+        over_queue = (
+            config.queue_high is not None and queue_depth > config.queue_high
+        )
+        hot = signal > config.high_watermark_us or over_queue
+        calm = signal < config.low_watermark_us and not over_queue
+        if hot:
+            self._calm_streak = 0
+            if self._level < self.max_level and self._can_change(now_us):
+                self._transition(self._level + 1, now_us, signal)
+        elif calm:
+            self._calm_streak += 1
+            if (
+                self._calm_streak >= config.cool_down_observations
+                and self._level > 0
+                and self._can_change(now_us)
+            ):
+                self._transition(self._level - 1, now_us, signal)
+                self._calm_streak = 0
+        else:
+            self._calm_streak = 0
+        return self._level

@@ -1,0 +1,138 @@
+"""Graceful-degradation ladder: serving modes that trade coverage for time.
+
+A degraded mode bounds what one query may cost the engine.  The ladder
+is ordered from full service to cache-only; the brownout controller
+walks it one rung at a time.  Each rung is a plain immutable value the
+engine interprets per query, so the same ladder drives a single
+:class:`~repro.serving.ServingEngine` and a scatter-gather
+:class:`~repro.cluster.ClusterEngine` (which additionally honours
+``fanout_cap``).
+
+Degradation never *fails* a query: keys skipped by a rung are reported
+as ``missing`` (with the intentional subset counted separately as
+``degrade_shed_keys``), exactly like PR 3's fault-path degradation, so
+coverage accounting is uniform across both failure domains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DegradeLevel:
+    """One rung of the degradation ladder.
+
+    Attributes:
+        level: position in the ladder (0 = full service).
+        name: human-readable label for reports.
+        max_pages_per_query: cap on SSD page reads per query; selection
+            is truncated after this many steps and the uncovered keys
+            are shed (None = unlimited).
+        skip_cold_keys: serve only keys with at least one replica (the
+            keys selective replication judged hot); single-copy cold
+            keys are shed without touching the SSD.
+        cache_only: serve cache hits only — every miss is shed and the
+            device is never touched.
+        fanout_cap: cluster-only — maximum shards a scattered query may
+            touch; the largest fragments win, the rest are shed whole
+            (None = unlimited).  Ignored by single engines.
+    """
+
+    level: int
+    name: str
+    max_pages_per_query: Optional[int] = None
+    skip_cold_keys: bool = False
+    cache_only: bool = False
+    fanout_cap: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.level < 0:
+            raise ConfigError(f"level must be >= 0, got {self.level}")
+        if self.max_pages_per_query is not None and self.max_pages_per_query < 1:
+            raise ConfigError(
+                f"max_pages_per_query must be >= 1, got "
+                f"{self.max_pages_per_query}"
+            )
+        if self.fanout_cap is not None and self.fanout_cap < 1:
+            raise ConfigError(
+                f"fanout_cap must be >= 1, got {self.fanout_cap}"
+            )
+
+    @property
+    def is_noop(self) -> bool:
+        """True when this rung leaves serving completely untouched."""
+        return (
+            self.max_pages_per_query is None
+            and not self.skip_cold_keys
+            and not self.cache_only
+            and self.fanout_cap is None
+        )
+
+
+@dataclass(frozen=True)
+class DegradeConfig:
+    """An ordered ladder of degradation rungs.
+
+    Rung 0 must be a no-op (full service) so stepping all the way down
+    restores normal serving; rung levels must equal their positions so
+    reports can name the rung a query was served at.
+    """
+
+    levels: Tuple[DegradeLevel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise ConfigError("a degradation ladder needs at least one level")
+        for position, rung in enumerate(self.levels):
+            if rung.level != position:
+                raise ConfigError(
+                    f"ladder rung at position {position} is labelled "
+                    f"level {rung.level}"
+                )
+        if not self.levels[0].is_noop:
+            raise ConfigError("ladder level 0 must be full (no-op) service")
+
+    @property
+    def max_level(self) -> int:
+        """Index of the most degraded rung."""
+        return len(self.levels) - 1
+
+    def level(self, index: int) -> DegradeLevel:
+        """The rung at ``index`` (clamped to the ladder)."""
+        return self.levels[max(0, min(index, self.max_level))]
+
+
+def default_ladder(page_cap: int = 16) -> DegradeConfig:
+    """The standard four-rung ladder.
+
+    full → capped reads → hot-keys-only (halved cap, halved fan-out) →
+    cache-only.  ``page_cap`` is rung 1's page budget; pick it above the
+    workload's typical pages-per-query (e.g. twice the closed-loop mean)
+    so rung 1 only trims the expensive tail and most queries keep full
+    coverage there — the brownout controller climbs further only when
+    the latency signal stays hot.
+    """
+    if page_cap < 2:
+        raise ConfigError(f"page_cap must be >= 2, got {page_cap}")
+    return DegradeConfig(
+        levels=(
+            DegradeLevel(level=0, name="full"),
+            DegradeLevel(
+                level=1, name="capped", max_pages_per_query=page_cap
+            ),
+            DegradeLevel(
+                level=2,
+                name="hot-only",
+                max_pages_per_query=page_cap // 2,
+                skip_cold_keys=True,
+                fanout_cap=2,
+            ),
+            DegradeLevel(
+                level=3, name="cache-only", cache_only=True, fanout_cap=1
+            ),
+        )
+    )

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence
 from ..cache import EmbeddingCache
 from ..errors import ServingError
 from ..faults import BreakerConfig, FaultPlan, FaultySsd
+from ..overload import DegradeLevel
 from ..placement import PageLayout, build_indexes
 from ..ssd import P5800X, Raid0Array, SimulatedSsd, SsdProfile
 from ..types import EmbeddingSpec, Query, QueryTrace
@@ -24,7 +25,12 @@ from .cost_model import CpuCostModel
 from .executor import Executor, PipelinedExecutor, SerialExecutor
 from .fast_selection import FastGreedySelector, FastOnePassSelector
 from .recovery import RecoveringExecutor, RetryPolicy
-from .selection import GreedySetCoverSelector, OnePassSelector, Selector
+from .selection import (
+    GreedySetCoverSelector,
+    OnePassSelector,
+    SelectionOutcome,
+    Selector,
+)
 from .stats import QueryResult, ServingReport, aggregate_results
 
 _SELECTORS = {"onepass": OnePassSelector, "greedy": GreedySetCoverSelector}
@@ -194,8 +200,20 @@ class ServingEngine:
 
     # -- single query -------------------------------------------------------------
 
-    def serve_query(self, query: Query, start_us: float = 0.0) -> QueryResult:
-        """Serve one query starting at ``start_us`` of simulated time."""
+    def serve_query(
+        self,
+        query: Query,
+        start_us: float = 0.0,
+        degrade: "DegradeLevel | None" = None,
+    ) -> QueryResult:
+        """Serve one query starting at ``start_us`` of simulated time.
+
+        ``degrade`` selects a rung of the overload degradation ladder
+        (see :mod:`repro.overload`); None or a no-op rung serves
+        normally through the untouched full-service path.
+        """
+        if degrade is not None and not degrade.is_noop:
+            return self._serve_overloaded(query, start_us, degrade)
         keys = query.unique_keys()
         hits, misses = self.cache.filter_hits(keys)
         if not misses:
@@ -258,6 +276,108 @@ class ServingEngine:
             failed_reads=degraded.failed_reads,
             recovered_keys=degraded.recovered_keys,
             missing_keys=len(missing),
+        )
+
+    def _cache_only_result(
+        self, requested: int, hits: int, shed: int, start_us: float, level: int
+    ) -> QueryResult:
+        """A degraded result that never touched the device."""
+        return QueryResult(
+            requested_keys=requested,
+            cache_hits=hits,
+            ssd_keys=0,
+            pages_read=0,
+            valid_per_read=(),
+            start_us=start_us,
+            finish_us=start_us + self.config.cost_model.query_base_us,
+            missing_keys=shed,
+            degrade_level=level,
+            degrade_shed_keys=shed,
+        )
+
+    def _serve_overloaded(
+        self, query: Query, start_us: float, degrade: DegradeLevel
+    ) -> QueryResult:
+        """Serve one query at a degraded ladder rung.
+
+        The rung bounds what the query may cost: cold (unreplicated)
+        keys may be skipped before selection, the selection outcome may
+        be truncated to ``max_pages_per_query`` reads, or the device may
+        be bypassed entirely (cache-only).  Keys dropped this way are
+        reported ``missing`` with the intentional count mirrored in
+        ``degrade_shed_keys`` — coverage accounting stays uniform with
+        the fault path's losses.
+        """
+        keys = query.unique_keys()
+        hits, misses = self.cache.filter_hits(keys)
+        if not misses:
+            result = self._cache_only_result(
+                len(keys), len(hits), 0, start_us, degrade.level
+            )
+            return result
+        if degrade.cache_only:
+            served: List[int] = []
+        elif degrade.skip_cold_keys:
+            counts = self.forward.replica_counts()
+            served = [k for k in misses if counts[k] > 1]
+        else:
+            served = misses
+        shed = len(misses) - len(served)
+        if not served:
+            return self._cache_only_result(
+                len(keys), len(hits), len(misses), start_us, degrade.level
+            )
+        outcome = self.selector.select(served)
+        covered = served
+        cap = degrade.max_pages_per_query
+        if cap is not None and outcome.num_steps > cap:
+            steps = tuple(outcome.steps[:cap])
+            outcome = SelectionOutcome(steps, sorted_keys=outcome.sorted_keys)
+            covered = [k for step in steps for k in step.covered]
+            shed += len(served) - len(covered)
+        if self._recovery is not None:
+            degraded = self._recovery.execute(outcome, self.device, start_us)
+            missing = set(degraded.missing_keys)
+            if self.config.page_grain_admission:
+                for page_id in degraded.pages_ok:
+                    self.cache.admit(self.invert.keys_of(page_id))
+            else:
+                self.cache.admit([k for k in covered if k not in missing])
+            execution = degraded.execution
+            return QueryResult(
+                requested_keys=len(keys),
+                cache_hits=len(hits),
+                ssd_keys=len(covered) - len(missing),
+                pages_read=execution.pages_read,
+                valid_per_read=degraded.valid_per_read,
+                start_us=start_us,
+                finish_us=execution.finish_us,
+                execution=execution,
+                retries=degraded.retries,
+                failed_reads=degraded.failed_reads,
+                recovered_keys=degraded.recovered_keys,
+                missing_keys=shed + len(missing),
+                degrade_level=degrade.level,
+                degrade_shed_keys=shed,
+            )
+        execution = self.executor.execute(outcome, self.device, start_us)
+        if self.config.page_grain_admission:
+            for page_id in outcome.pages:
+                self.cache.admit(self.invert.keys_of(page_id))
+        else:
+            self.cache.admit(covered)
+        return QueryResult(
+            requested_keys=len(keys),
+            cache_hits=len(hits),
+            ssd_keys=len(covered),
+            pages_read=execution.pages_read,
+            valid_per_read=tuple(outcome.covered_counts),
+            start_us=start_us,
+            finish_us=execution.finish_us,
+            execution=execution,
+            missing_keys=shed,
+            degrade_level=degrade.level,
+            degrade_shed_keys=shed,
         )
 
     # -- whole trace ----------------------------------------------------------------

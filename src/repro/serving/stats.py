@@ -35,7 +35,13 @@ class QueryResult:
         failed_reads: logical page reads abandoned after retries.
         recovered_keys: keys served via a replica after their selected
             page's read failed.
-        missing_keys: keys that could not be served from any page.
+        missing_keys: keys that could not be served from any page
+            (includes keys intentionally shed by a degraded mode).
+        degrade_level: degradation-ladder rung this query was served at
+            (0 = full service).
+        degrade_shed_keys: keys intentionally skipped by the degraded
+            mode (a subset of ``missing_keys``; fault-path losses are
+            the remainder).
     """
 
     requested_keys: int
@@ -50,6 +56,8 @@ class QueryResult:
     failed_reads: int = 0
     recovered_keys: int = 0
     missing_keys: int = 0
+    degrade_level: int = 0
+    degrade_shed_keys: int = 0
 
     @property
     def latency_us(self) -> float:
@@ -84,6 +92,8 @@ class ServingReport:
     total_recovered_keys: int = 0
     total_missing_keys: int = 0
     degraded_queries: int = 0
+    total_degrade_shed_keys: int = 0
+    degrade_level_hist: Dict[int, int] = field(default_factory=dict)
 
     # -- throughput / latency ------------------------------------------------
 
@@ -166,10 +176,24 @@ class ServingReport:
     # -- degraded-mode accounting --------------------------------------------
 
     def coverage(self) -> float:
-        """Fraction of requested keys actually served (1.0 = no loss)."""
+        """Fraction of requested keys actually served (1.0 = no loss).
+
+        Missing keys count losses from *both* failure domains: device
+        faults (PR 3) and intentional overload shedding — see
+        :meth:`degraded_mode_queries` / ``total_degrade_shed_keys`` for
+        the overload share.
+        """
         if self.total_requested == 0:
             return 1.0
         return 1.0 - self.total_missing_keys / self.total_requested
+
+    def degraded_mode_queries(self) -> int:
+        """Queries served at a degradation-ladder rung above full service."""
+        return sum(
+            count
+            for level, count in self.degrade_level_hist.items()
+            if level > 0
+        )
 
 
 def merge_shard_results(results: Sequence[QueryResult]) -> QueryResult:
@@ -218,6 +242,8 @@ def merge_shard_results(results: Sequence[QueryResult]) -> QueryResult:
         failed_reads=sum(r.failed_reads for r in results),
         recovered_keys=sum(r.recovered_keys for r in results),
         missing_keys=sum(r.missing_keys for r in results),
+        degrade_level=max(r.degrade_level for r in results),
+        degrade_shed_keys=sum(r.degrade_shed_keys for r in results),
     )
 
 
@@ -256,4 +282,9 @@ def aggregate_results(
         report.total_missing_keys += r.missing_keys
         if r.missing_keys > 0:
             report.degraded_queries += 1
+        report.total_degrade_shed_keys += r.degrade_shed_keys
+        if r.degrade_level > 0:
+            report.degrade_level_hist[r.degrade_level] = (
+                report.degrade_level_hist.get(r.degrade_level, 0) + 1
+            )
     return report
