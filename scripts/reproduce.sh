@@ -23,5 +23,17 @@ python -m pytest tests/ 2>&1 | tee test_output.txt
 echo "== regenerating every paper table and figure =="
 python -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
 
+echo "== contract benches (no pytest-benchmark fixture, skipped above) =="
+# These carry their own pass/fail contracts and publish JSON results:
+# selection/offline fast paths, degraded serving under faults, overload
+# goodput, and the live service gateway vs the open-loop simulator.
+python -m pytest -q -s \
+    benchmarks/bench_selection.py \
+    benchmarks/bench_offline.py \
+    benchmarks/bench_faults.py \
+    benchmarks/bench_overload.py \
+    benchmarks/bench_service.py \
+    2>&1 | tee bench_contract_output.txt
+
 echo "== done; rendered artifacts: =="
 ls benchmarks/results/

@@ -83,6 +83,16 @@ from .replication import (
     IncrementalReplicator,
     RppStrategy,
 )
+from .service import (
+    CoalescerConfig,
+    CoreLoadGenerator,
+    GatewayCore,
+    HttpGateway,
+    HttpLoadGenerator,
+    ServiceConfig,
+    TenantConfig,
+    run_gateway,
+)
 from .serving import (
     EngineConfig,
     GreedySetCoverSelector,
@@ -161,6 +171,15 @@ __all__ = [
     "PipelinedExecutor",
     "SerialExecutor",
     "RetryPolicy",
+    # service
+    "GatewayCore",
+    "HttpGateway",
+    "ServiceConfig",
+    "CoalescerConfig",
+    "TenantConfig",
+    "CoreLoadGenerator",
+    "HttpLoadGenerator",
+    "run_gateway",
     # overload
     "ADMISSION_POLICIES",
     "AdmissionConfig",

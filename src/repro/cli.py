@@ -11,6 +11,10 @@ Subcommands::
     maxembed serve     --trace trace.txt --layout cluster.json --shards 4
     maxembed serve     --trace trace.txt --layout layout.json \\
                        --offered-qps 50000 --admission-capacity 64 --brownout
+    maxembed serve     --layout cluster.json --listen 127.0.0.1:8080 \\
+                       --admission-capacity 64 --brownout --tenant gold:5000
+    maxembed loadgen   --target 127.0.0.1:8080 --trace trace.txt \\
+                       --concurrency 16 --duration 5
     maxembed experiment fig8 [--scale small]
     maxembed experiments [--scale small]
 
@@ -100,7 +104,12 @@ def _add_diagnose(subparsers) -> None:
 
 def _add_serve(subparsers) -> None:
     p = subparsers.add_parser("serve", help="replay a trace online")
-    p.add_argument("--trace", required=True, help="trace to serve")
+    p.add_argument(
+        "--trace",
+        default=None,
+        help="trace to serve (optional with --listen: the gateway takes "
+        "live requests instead of replaying)",
+    )
     p.add_argument("--layout", required=True, help="layout file")
     p.add_argument("--dim", type=int, default=64)
     p.add_argument("--cache-ratio", type=float, default=0.1)
@@ -189,6 +198,101 @@ def _add_serve(subparsers) -> None:
         help="enable the brownout controller: step queries down the "
         "graceful-degradation ladder under sustained latency pressure",
     )
+    p.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="run the live HTTP gateway on this address instead of "
+        "replaying a trace (port 0 = kernel-assigned); the admission "
+        "and brownout flags above become the gateway's backpressure",
+    )
+    p.add_argument(
+        "--no-coalesce",
+        action="store_true",
+        help="gateway mode: serve every request individually instead of "
+        "merging concurrent same-tenant requests into shared page reads",
+    )
+    p.add_argument(
+        "--coalesce-max-batch",
+        type=int,
+        default=16,
+        help="gateway mode: requests merged into one batch at most",
+    )
+    p.add_argument(
+        "--coalesce-max-wait-us",
+        type=float,
+        default=2000.0,
+        help="gateway mode: max wall microseconds the oldest waiting "
+        "request may age before its batch flushes",
+    )
+    p.add_argument(
+        "--max-concurrent-batches",
+        type=int,
+        default=8,
+        help="gateway mode: coalesced batches in flight at once",
+    )
+    p.add_argument(
+        "--tenant",
+        action="append",
+        default=None,
+        metavar="NAME[:RATE_QPS[:BURST[:PRIORITY]]]",
+        help="gateway mode: per-tenant token-bucket quota and admission "
+        "priority (repeatable); e.g. --tenant gold:5000:32:1.0",
+    )
+    p.add_argument(
+        "--pace-service",
+        action="store_true",
+        help="gateway mode: sleep each batch's simulated service time in "
+        "wall time, so real throughput tracks the device model",
+    )
+    p.add_argument(
+        "--time-scale",
+        type=float,
+        default=1.0,
+        help="gateway mode: wall microseconds slept per simulated "
+        "microsecond when pacing",
+    )
+
+
+def _add_loadgen(subparsers) -> None:
+    p = subparsers.add_parser(
+        "loadgen",
+        help="drive a running gateway with closed-loop async clients",
+    )
+    p.add_argument(
+        "--target",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of a gateway started with `maxembed serve --listen`",
+    )
+    p.add_argument("--trace", required=True, help="request stream to replay")
+    p.add_argument(
+        "--concurrency", type=int, default=8, help="closed-loop clients"
+    )
+    p.add_argument(
+        "--duration", type=float, default=2.0, help="wall seconds to run"
+    )
+    p.add_argument(
+        "--think-time",
+        type=float,
+        default=0.0,
+        help="wall seconds each client pauses between requests",
+    )
+    p.add_argument(
+        "--tenant", default="default", help="tenant stamped on every request"
+    )
+    p.add_argument(
+        "--max-requests",
+        type=int,
+        default=None,
+        help="stop after this many requests even if time remains",
+    )
+    p.add_argument(
+        "--slo-us",
+        type=float,
+        default=None,
+        help="latency SLO for the goodput metric (wall microseconds)",
+    )
 
 
 def _add_experiments(subparsers) -> None:
@@ -218,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_build(subparsers)
     _add_diagnose(subparsers)
     _add_serve(subparsers)
+    _add_loadgen(subparsers)
     _add_experiments(subparsers)
     return parser
 
@@ -359,6 +464,149 @@ def _serve_open_loop(engine, trace, args) -> int:
     return 0
 
 
+def _parse_address(address: str) -> "tuple[str, int]":
+    host, sep, port = address.rpartition(":")
+    if not sep or not port.isdigit():
+        raise SystemExit(
+            f"error: address must look like HOST:PORT, got {address!r}"
+        )
+    return host or "127.0.0.1", int(port)
+
+
+def _parse_tenants(specs) -> tuple:
+    """--tenant NAME[:RATE[:BURST[:PRIORITY]]] specs -> TenantConfigs."""
+    from .service import TenantConfig
+
+    tenants = []
+    for spec in specs or ():
+        parts = spec.split(":")
+        if not parts[0]:
+            raise SystemExit(f"error: bad --tenant spec {spec!r}")
+        try:
+            tenants.append(
+                TenantConfig(
+                    name=parts[0],
+                    rate_qps=float(parts[1]) if len(parts) > 1 else None,
+                    burst=int(parts[2]) if len(parts) > 2 else 16,
+                    priority=float(parts[3]) if len(parts) > 3 else 0.0,
+                )
+            )
+        except (ValueError, IndexError):
+            raise SystemExit(f"error: bad --tenant spec {spec!r}")
+    return tuple(tenants)
+
+
+def _service_config(args):
+    """ServiceConfig for the serve command's gateway flags."""
+    from .service import CoalescerConfig, ServiceConfig
+
+    overload = _overload_options(args)
+    return ServiceConfig(
+        coalescer=CoalescerConfig(
+            enabled=not args.no_coalesce,
+            max_batch=args.coalesce_max_batch,
+            max_wait_us=args.coalesce_max_wait_us,
+        ),
+        admission=overload.get("admission"),
+        brownout=overload.get("brownout"),
+        tenants=_parse_tenants(args.tenant),
+        max_concurrent_batches=args.max_concurrent_batches,
+        pace_service=args.pace_service,
+        time_scale=args.time_scale,
+    )
+
+
+def _build_serve_engine(args):
+    """The engine the serve command would replay against (any layout)."""
+    from .cluster import is_sharded_layout_file
+    from .serving import EngineConfig, ServingEngine
+
+    fault_options = _fault_options(args)
+    if is_sharded_layout_file(args.layout):
+        from .cluster import ClusterEngine, load_sharded_layout
+
+        sharded = load_sharded_layout(args.layout)
+        if args.shards is not None and args.shards != sharded.num_shards:
+            raise SystemExit(
+                f"error: --shards {args.shards} but {args.layout} holds "
+                f"{sharded.num_shards} shards"
+            )
+        engine_cls, layout = ClusterEngine, sharded
+    else:
+        engine_cls, layout = ServingEngine, load_layout(args.layout)
+        fault_options.pop("shard_deadline_us", None)  # cluster-only knob
+    return engine_cls(
+        layout,
+        EngineConfig(
+            spec=EmbeddingSpec(dim=args.dim),
+            cache_ratio=args.cache_ratio,
+            cache_policy=args.cache_policy,
+            index_limit=args.index_limit,
+            selector=args.selector,
+            fast_selection=args.selection_path == "fast",
+            executor=args.executor,
+            threads=args.threads,
+            **fault_options,
+        ),
+    )
+
+
+def _cmd_serve_gateway(args) -> int:
+    """`maxembed serve --listen`: the live HTTP gateway."""
+    import asyncio
+
+    from .service import run_gateway
+
+    host, port = _parse_address(args.listen)
+    engine = _build_serve_engine(args)
+    config = _service_config(args)
+
+    def ready(server) -> None:
+        print(
+            f"gateway listening on http://{server.host}:{server.bound_port} "
+            f"(POST /query, GET /health, GET /metrics, POST /drain; "
+            f"SIGTERM drains gracefully)",
+            flush=True,
+        )
+
+    asyncio.run(
+        run_gateway(
+            engine, config, host=host, port=port, ready_callback=ready
+        )
+    )
+    print("gateway drained cleanly")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    """`maxembed loadgen`: closed-loop clients against a live gateway."""
+    import asyncio
+
+    from .service import HttpLoadGenerator
+
+    host, port = _parse_address(args.target)
+    trace = load_trace(args.trace)
+    generator = HttpLoadGenerator(
+        host,
+        port,
+        trace.queries,
+        concurrency=args.concurrency,
+        think_time_s=args.think_time,
+        duration_s=args.duration,
+        tenant=args.tenant,
+        max_requests=args.max_requests,
+    )
+    report = asyncio.run(generator.run())
+    print(
+        format_mapping(
+            f"load generation report ({args.concurrency} clients, "
+            f"{report.wall_s:.1f}s against {args.target})",
+            report.as_dict(latency_slo_us=args.slo_us),
+        )
+    )
+    return 0 if report.errors == 0 else 1
+
+
 def _cmd_serve_cluster(args, trace) -> int:
     from .cluster import ClusterEngine, load_sharded_layout
     from .serving import EngineConfig
@@ -418,6 +666,15 @@ def _cmd_serve_cluster(args, trace) -> int:
 
 
 def _cmd_serve(args) -> int:
+    if args.listen is not None:
+        return _cmd_serve_gateway(args)
+    if args.trace is None:
+        print(
+            "error: --trace is required unless --listen starts the live "
+            "gateway",
+            file=sys.stderr,
+        )
+        return 1
     trace = load_trace(args.trace)
     from .cluster import is_sharded_layout_file
 
@@ -525,6 +782,8 @@ def main(argv: "Optional[List[str]]" = None) -> int:
         return _cmd_diagnose(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "loadgen":
+        return _cmd_loadgen(args)
     if args.command == "experiment":
         print(run_experiment(args.exp_id, scale=args.scale).render())
         return 0

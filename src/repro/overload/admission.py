@@ -161,6 +161,47 @@ class AdmissionQueue:
             return [(victim, "priority")]
         return [(entry, "priority")]
 
+    # -- inspection ------------------------------------------------------------
+
+    def peek(self) -> Optional[QueueEntry]:
+        """The next entry :meth:`take` would consider (None when empty).
+
+        Combined with :meth:`expire`, this lets a dispatcher group the
+        head of the line into batches (e.g. by tenant) without popping
+        entries it cannot serve yet.
+        """
+        return self._queue[0] if self._queue else None
+
+    def expire(self, now_us: float) -> List[QueueEntry]:
+        """Pop head entries whose queue wait already exceeds the deadline.
+
+        Arrivals are appended in time order, so deadline-missed waiters
+        form a prefix of the queue; after this call :meth:`peek` returns
+        an entry that is still dispatchable at ``now_us`` (or None).
+        The popped entries are deadline misses — the caller accounts
+        them exactly as :meth:`take` would have.
+        """
+        deadline = (
+            self.config.queue_deadline_us if self.config is not None else None
+        )
+        if deadline is None:
+            return []
+        missed: List[QueueEntry] = []
+        while self._queue and now_us - self._queue[0].arrival_us > deadline:
+            missed.append(self._queue.popleft())
+        return missed
+
+    def drain(self) -> List[QueueEntry]:
+        """Remove and return every waiting entry (shutdown shedding).
+
+        A gateway draining on shutdown sheds its waiting room instead of
+        serving it; the caller is responsible for accounting the
+        returned entries as shed.
+        """
+        drained = list(self._queue)
+        self._queue.clear()
+        return drained
+
     # -- dispatch --------------------------------------------------------------
 
     def take(

@@ -1,0 +1,50 @@
+"""Live async serving front-end over the cluster engine.
+
+The simulator packages measure the engine in simulated time; this
+package puts a real, concurrent service in front of it — a pure-stdlib
+asyncio HTTP/1.1 gateway whose data path is *gateway → quota →
+admission → coalescer → engine*:
+
+* :class:`GatewayCore` — transport-independent core: request-coalescing
+  batcher (concurrent same-tenant requests merge into shared page
+  reads), backpressure wired directly into :mod:`repro.overload`
+  (:class:`~repro.overload.AdmissionQueue` sheds, the
+  :class:`~repro.overload.BrownoutController` walks the degradation
+  ladder), per-tenant token-bucket quotas, graceful drain;
+* :class:`HttpGateway` / :func:`run_gateway` — the HTTP/1.1 transport
+  (``/query`` with optional chunked streaming, ``/health``,
+  ``/metrics``, ``/drain``; SIGTERM triggers graceful drain);
+* :class:`CoreLoadGenerator` / :class:`HttpLoadGenerator` — closed-loop
+  async load drivers reporting goodput and latency quantiles in the
+  simulator reports' vocabulary.
+
+Everything is stdlib + the existing library: no web framework, no HTTP
+client dependency, nothing to install.
+"""
+
+from .config import (
+    DEFAULT_TENANT,
+    CoalescerConfig,
+    ServiceConfig,
+    TenantConfig,
+)
+from .gateway import GatewayCore, ServeOutcome, WallClock
+from .http import HttpGateway, run_gateway
+from .loadgen import CoreLoadGenerator, HttpLoadGenerator, LoadReport
+from .quota import TokenBucket
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "CoalescerConfig",
+    "CoreLoadGenerator",
+    "GatewayCore",
+    "HttpGateway",
+    "HttpLoadGenerator",
+    "LoadReport",
+    "ServeOutcome",
+    "ServiceConfig",
+    "TenantConfig",
+    "TokenBucket",
+    "WallClock",
+    "run_gateway",
+]

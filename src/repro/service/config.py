@@ -1,0 +1,154 @@
+"""Service-layer configuration: coalescing, tenants, pacing, drain.
+
+The gateway deliberately has *no* HTTP-level limiter of its own: all
+backpressure knobs are the existing :mod:`repro.overload` configs
+(:class:`~repro.overload.AdmissionConfig`,
+:class:`~repro.overload.BrownoutConfig`, the degradation ladder),
+threaded through unchanged.  What this module adds is only what the
+transport layer itself owns — how long concurrent requests may wait to
+coalesce into one batch, per-tenant quotas, and how the real-time side
+maps onto the simulated device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..errors import ConfigError
+from ..overload import AdmissionConfig, BrownoutConfig, DegradeConfig
+
+
+@dataclass(frozen=True)
+class CoalescerConfig:
+    """Flush policy of the request-coalescing batcher.
+
+    Attributes:
+        enabled: merge concurrent same-tenant requests into shared page
+            reads (False serves every request individually — the
+            baseline the coalescer is measured against).
+        max_batch: requests merged into one flush at most.
+        max_wait_us: ceiling on how long the oldest waiting request may
+            age before its batch is flushed regardless of size.  Only
+            binds while other batches are in flight: an idle gateway
+            always flushes immediately, so coalescing never taxes an
+            unloaded service.
+    """
+
+    enabled: bool = True
+    max_batch: int = 16
+    max_wait_us: float = 2_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigError(
+                f"max_batch must be >= 1, got {self.max_batch}"
+            )
+        if self.max_wait_us < 0:
+            raise ConfigError(
+                f"max_wait_us must be >= 0, got {self.max_wait_us}"
+            )
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's quota and shedding priority.
+
+    Attributes:
+        name: tenant identifier (the HTTP ``tenant`` field / header).
+        rate_qps: token-bucket refill rate; None = no quota.
+        burst: token-bucket capacity (requests the tenant may burst
+            above its steady rate).
+        priority: admission-queue priority offset — under the
+            ``priority`` shed policy a hotter tenant's requests evict a
+            colder tenant's waiters when the queue is full.
+    """
+
+    name: str
+    rate_qps: Optional[float] = None
+    burst: int = 16
+    priority: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("tenant name must be non-empty")
+        if self.rate_qps is not None and self.rate_qps <= 0:
+            raise ConfigError(
+                f"tenant {self.name!r} rate_qps must be positive, got "
+                f"{self.rate_qps}"
+            )
+        if self.burst < 1:
+            raise ConfigError(
+                f"tenant {self.name!r} burst must be >= 1, got {self.burst}"
+            )
+
+
+#: Tenant applied to requests that name no configured tenant.
+DEFAULT_TENANT = TenantConfig(name="default")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything the gateway needs besides the engine itself.
+
+    Attributes:
+        coalescer: request-coalescing flush policy.
+        admission: bounded waiting room + shed policy (None = unbounded,
+            never sheds — exactly the simulator's legacy behaviour).
+        brownout: degradation feedback controller (None = never
+            degrade).
+        ladder: degradation ladder the controller walks (None = the
+            standard :func:`~repro.overload.default_ladder`).
+        tenants: per-tenant quotas/priorities; unknown tenants get
+            :data:`DEFAULT_TENANT` (no quota, priority 0).
+        max_concurrent_batches: coalesced batches in flight at once —
+            the service-level worker count.  Engine work itself is
+            serialized on one thread (the device is a shared simulated
+            resource); this bounds the pipeline depth, which is what
+            creates queue backpressure for admission control.
+        pace_service: sleep each batch's simulated service time in wall
+            time before completing it, so the real-time gateway's
+            throughput ceiling tracks the device model (benches use
+            this to compare against the open-loop simulator).
+        time_scale: wall microseconds slept per simulated microsecond
+            when pacing (>1 slows the gateway down so asyncio timer
+            granularity stays negligible).
+        drain_timeout_s: wall-clock ceiling on waiting for in-flight
+            batches during graceful shutdown.
+    """
+
+    coalescer: CoalescerConfig = field(default_factory=CoalescerConfig)
+    admission: Optional[AdmissionConfig] = None
+    brownout: Optional[BrownoutConfig] = None
+    ladder: Optional[DegradeConfig] = None
+    tenants: Tuple[TenantConfig, ...] = ()
+    max_concurrent_batches: int = 8
+    pace_service: bool = False
+    time_scale: float = 1.0
+    drain_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent_batches < 1:
+            raise ConfigError(
+                f"max_concurrent_batches must be >= 1, got "
+                f"{self.max_concurrent_batches}"
+            )
+        if self.time_scale <= 0:
+            raise ConfigError(
+                f"time_scale must be positive, got {self.time_scale}"
+            )
+        if self.drain_timeout_s <= 0:
+            raise ConfigError(
+                f"drain_timeout_s must be positive, got "
+                f"{self.drain_timeout_s}"
+            )
+        names = [t.name for t in self.tenants]
+        if len(names) != len(set(names)):
+            raise ConfigError(f"duplicate tenant names in {names}")
+
+    def tenant(self, name: str) -> TenantConfig:
+        """The configured tenant, or the unlimited default."""
+        for tenant in self.tenants:
+            if tenant.name == name:
+                return tenant
+        return DEFAULT_TENANT

@@ -1,0 +1,783 @@
+"""The serving gateway core: admission → coalescing → engine, async.
+
+:class:`GatewayCore` is the transport-independent heart of the live
+front-end (:mod:`repro.service.http` wraps it in HTTP/1.1).  It takes
+concurrent ``await submit(keys, tenant)`` calls and runs each through
+the pipeline the docs diagram as *gateway → admission → coalescer →
+engine*:
+
+1. **quota** — the tenant's token bucket is charged; an over-quota
+   request is shed immediately (``quota``, HTTP 429) before it can
+   displace other tenants' admitted work;
+2. **admission** — the request enters the *existing*
+   :class:`~repro.overload.AdmissionQueue` (there is deliberately no
+   separate HTTP-level limiter): a full queue sheds per the configured
+   policy, and queue deadlines turn stale waiters into deadline misses;
+3. **coalescing** — a dispatcher drains the waiting room into batches.
+   Same-tenant neighbours merge: their deduplicated key union is served
+   as *one* engine query, so overlapping keys share page reads (the
+   batched-selection fast path the engine already has).  Batches never
+   mix tenants — a tenant's quota boundary is also its blast radius.
+   The flush policy is classic max-batch/max-wait, with an idle bypass:
+   when nothing is in flight a batch flushes immediately, so coalescing
+   adds no latency to an unloaded gateway;
+4. **brownout** — every completion feeds the *existing*
+   :class:`~repro.overload.BrownoutController`; when it steps the
+   ladder up, subsequent batches are served at the degraded rung (and
+   are then served member-by-member, because degraded shedding must be
+   attributed to individual requests).
+
+Time: arrivals and queue waits are wall-clock microseconds from the
+gateway's monotonic clock; service time is the engine's simulated
+microseconds.  Both feed one latency signal, so the brownout controller
+sees real queueing plus modeled service — and with ``pace_service`` set
+the gateway additionally *sleeps* each batch's simulated service time,
+making the wall-clock throughput ceiling track the device model.
+
+Accounting invariant (the tests and ``/metrics`` pin it): every offered
+request is exactly one of *completed*, *shed* (quota / admission policy
+/ drain), or *deadline-missed*.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import ServingError
+from ..overload import (
+    AdmissionQueue,
+    BrownoutController,
+    QueueEntry,
+    default_ladder,
+    engine_hotness,
+)
+from ..serving.openloop import OpenLoopReport, OpenLoopResult
+from ..serving.stats import QueryResult, aggregate_results
+from ..types import Query
+from .config import ServiceConfig
+from .quota import TokenBucket
+
+#: Shed reasons the gateway adds on top of the admission policies.
+SHED_QUOTA = "quota"
+SHED_DRAIN = "drain"
+
+#: How many recent flushed batches keep their (tenant, size) record for
+#: introspection (tests assert tenant purity on this log).
+BATCH_LOG_LIMIT = 4096
+
+
+class WallClock:
+    """Monotonic wall clock in microseconds since construction."""
+
+    def __init__(self) -> None:
+        self._t0 = time.monotonic()
+
+    def now_us(self) -> float:
+        """Microseconds elapsed since the clock was created."""
+        return (time.monotonic() - self._t0) * 1e6
+
+
+@dataclass
+class ServeOutcome:
+    """What one submitted request got back from the gateway.
+
+    ``status`` is ``ok`` (served), ``shed`` (rejected by quota, an
+    admission policy, or drain — ``shed_reason`` names which), or
+    ``miss`` (admitted but dropped at dispatch because its queue wait
+    blew the deadline).
+    """
+
+    status: str
+    tenant: str
+    keys: Tuple[int, ...]
+    arrival_us: float
+    served: int = 0
+    missing: int = 0
+    degrade_level: int = 0
+    start_us: float = 0.0
+    finish_us: float = 0.0
+    shed_reason: Optional[str] = None
+    coalesced: int = 1
+    batch_pages_read: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when the request was served (possibly degraded)."""
+        return self.status == "ok"
+
+    @property
+    def latency_us(self) -> float:
+        """Arrival-to-completion latency (0 for rejected requests)."""
+        if not self.ok:
+            return 0.0
+        return self.finish_us - self.arrival_us
+
+    def http_status(self) -> int:
+        """The HTTP status this outcome maps to."""
+        if self.ok:
+            return 200
+        if self.shed_reason == SHED_QUOTA:
+            return 429
+        return 503
+
+    def payload(self) -> Dict[str, object]:
+        """JSON-ready response body for this outcome."""
+        body: Dict[str, object] = {
+            "status": self.status,
+            "tenant": self.tenant,
+            "keys": list(self.keys),
+            "served": self.served,
+            "missing": self.missing,
+            "degrade_level": self.degrade_level,
+        }
+        if self.ok:
+            body["latency_us"] = round(self.latency_us, 3)
+            body["coalesced"] = self.coalesced
+            body["batch_pages_read"] = self.batch_pages_read
+        else:
+            body["reason"] = self.shed_reason
+        return body
+
+
+@dataclass
+class _Pending:
+    """Book-keeping for one admitted-but-unfinished request."""
+
+    entry: QueueEntry
+    tenant: str
+    future: "asyncio.Future[ServeOutcome]"
+
+
+@dataclass
+class _BatchServed:
+    """Executor-thread result of one flushed batch (pure data)."""
+
+    members: List[Tuple[QueueEntry, int, int]]  # (entry, served, missing)
+    query_results: List[QueryResult]
+    finish_us: float
+    degrade_level: int
+    pages_read: int
+    duplicate_keys: int = 0
+    unattributed_missing: int = 0
+
+
+class GatewayCore:
+    """Async request front-end over one serving or cluster engine.
+
+    Args:
+        engine: a :class:`~repro.serving.ServingEngine` or
+            :class:`~repro.cluster.ClusterEngine` (anything with
+            ``serve_query(query, start_us, degrade)`` and a ``config``).
+        config: service knobs; defaults to coalescing on, no admission
+            bound, no brownout.
+        clock: microsecond clock (tests inject deterministic ones).
+    """
+
+    def __init__(
+        self,
+        engine,
+        config: "ServiceConfig | None" = None,
+        clock: "WallClock | None" = None,
+    ) -> None:
+        self.engine = engine
+        self.config = config or ServiceConfig()
+        self.clock = clock or WallClock()
+        self.ladder = self.config.ladder or default_ladder()
+        self.queue = AdmissionQueue(self.config.admission)
+        self.controller: Optional[BrownoutController] = (
+            BrownoutController(
+                self.config.brownout, max_level=self.ladder.max_level
+            )
+            if self.config.brownout is not None
+            else None
+        )
+        self._hotness = (
+            engine_hotness(engine)
+            if (
+                self.config.admission is not None
+                and self.config.admission.policy == "priority"
+            )
+            else None
+        )
+        self._buckets: Dict[str, TokenBucket] = {
+            t.name: TokenBucket(t.rate_qps, t.burst)
+            for t in self.config.tenants
+            if t.rate_qps is not None
+        }
+        # Per-query fault/deadline/breaker losses can only be attributed
+        # to individual requests, so those engines skip key-union merging
+        # (coalescing still batches the flush; members serve one by one).
+        engine_cfg = getattr(engine, "config", None)
+        self._exact_per_query = engine_cfg is not None and (
+            getattr(engine_cfg, "fault_plan", None) is not None
+            or getattr(engine_cfg, "breaker", None) is not None
+            or getattr(engine_cfg, "shard_deadline_us", None) is not None
+        )
+        # Engine work is serialized on one thread: the simulated device
+        # is shared mutable state, and serve_trace's concurrency model is
+        # simulated workers over one real thread — the gateway keeps that
+        # contract, overlapping batches only in (paced) completion.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="gateway-serve"
+        )
+        self._pending: Dict[int, _Pending] = {}
+        self._seq = 0
+        self._offered = 0
+        self._shed: Dict[str, int] = {}
+        self._deadline_misses = 0
+        self._results: List[OpenLoopResult] = []
+        self._query_results: List[QueryResult] = []
+        self._batch_log: List[Tuple[str, int]] = []
+        self._batches = 0
+        self._batch_errors: List[str] = []
+        self._merged_batches = 0
+        self._coalesced_queries = 0
+        self._duplicate_keys_merged = 0
+        self._unattributed_missing = 0
+        self._in_flight = 0
+        self._batch_tasks: set = set()
+        self._draining = False
+        self._stopped = False
+        self._engine_close_calls = 0
+        self._started = False
+        self._started_at_us = 0.0
+        self._wake: Optional[asyncio.Event] = None
+        self._pump_task: Optional[asyncio.Task] = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the dispatcher (idempotent)."""
+        if self._started:
+            return
+        self._wake = asyncio.Event()
+        self._pump_task = asyncio.create_task(
+            self._pump(), name="gateway-pump"
+        )
+        self._started_at_us = self.clock.now_us()
+        self._started = True
+
+    async def stop(self) -> None:
+        """Graceful drain: finish in-flight work, shed the waiting room.
+
+        In-flight coalesced batches run to completion (bounded by
+        ``drain_timeout_s``); entries still waiting for dispatch are
+        shed with reason ``drain`` — every one of them resolves, so the
+        offered == completed + shed + missed invariant survives
+        shutdown.  The engine is closed exactly once, no matter how many
+        times ``stop`` is called.
+        """
+        if self._stopped:
+            return
+        self._draining = True
+        if self._wake is not None:
+            self._wake.set()
+        for entry in self.queue.drain():
+            self._resolve_shed(entry, SHED_DRAIN)
+        if self._batch_tasks:
+            await asyncio.wait(
+                set(self._batch_tasks), timeout=self.config.drain_timeout_s
+            )
+        self._stopped = True
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+            self._pump_task = None
+        self._executor.shutdown(wait=True)
+        self._close_engine_once()
+
+    async def __aenter__(self) -> "GatewayCore":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    def _close_engine_once(self) -> None:
+        """Invoke the engine's (idempotent) close exactly once."""
+        if self._engine_close_calls:
+            return
+        self._engine_close_calls = 1
+        close = getattr(self.engine, "close", None)
+        if callable(close):
+            close()
+
+    @property
+    def draining(self) -> bool:
+        """True once graceful shutdown has begun."""
+        return self._draining
+
+    # -- request path ----------------------------------------------------------
+
+    async def submit(
+        self, keys: Iterable[int], tenant: str = "default"
+    ) -> ServeOutcome:
+        """Run one request through quota → admission → coalescer → engine.
+
+        Raises :class:`~repro.errors.ConfigError` for malformed keys
+        (the HTTP layer maps that to 400) — malformed requests are not
+        *offered* and do not enter the accounting.
+        """
+        if not self._started:
+            raise ServingError("gateway not started; call start() first")
+        query = Query(tuple(keys))
+        now = self.clock.now_us()
+        self._offered += 1
+        if self._draining:
+            return self._immediate_shed(query, tenant, now, SHED_DRAIN)
+        bucket = self._buckets.get(tenant)
+        if bucket is not None and not bucket.try_take(now):
+            return self._immediate_shed(query, tenant, now, SHED_QUOTA)
+        priority = self.config.tenant(tenant).priority
+        if self._hotness is not None:
+            # Tenant priority breaks ties between tenants; query hotness
+            # (mean replica count) orders requests within one.
+            priority += self._hotness(query)
+        self._seq += 1
+        entry = QueueEntry(
+            arrival_us=now, index=self._seq, query=query, priority=priority
+        )
+        future: "asyncio.Future[ServeOutcome]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self._pending[entry.index] = _Pending(entry, tenant, future)
+        for victim, reason in self.queue.offer(entry, now):
+            self._resolve_shed(victim, reason)
+        assert self._wake is not None
+        self._wake.set()
+        return await future
+
+    def _count_shed(self, reason: str) -> None:
+        self._shed[reason] = self._shed.get(reason, 0) + 1
+
+    def _immediate_shed(
+        self, query: Query, tenant: str, now: float, reason: str
+    ) -> ServeOutcome:
+        self._count_shed(reason)
+        return ServeOutcome(
+            status="shed",
+            tenant=tenant,
+            keys=query.keys,
+            arrival_us=now,
+            shed_reason=reason,
+        )
+
+    def _resolve_shed(self, entry: QueueEntry, reason: str) -> None:
+        pending = self._pending.pop(entry.index, None)
+        if pending is None:
+            return
+        self._count_shed(reason)
+        outcome = ServeOutcome(
+            status="shed",
+            tenant=pending.tenant,
+            keys=entry.query.keys,
+            arrival_us=entry.arrival_us,
+            shed_reason=reason,
+        )
+        if not pending.future.done():
+            pending.future.set_result(outcome)
+
+    def _resolve_miss(self, entry: QueueEntry) -> None:
+        pending = self._pending.pop(entry.index, None)
+        if pending is None:
+            return
+        self._deadline_misses += 1
+        outcome = ServeOutcome(
+            status="miss",
+            tenant=pending.tenant,
+            keys=entry.query.keys,
+            arrival_us=entry.arrival_us,
+            shed_reason="deadline-miss",
+        )
+        if not pending.future.done():
+            pending.future.set_result(outcome)
+
+    # -- dispatcher ------------------------------------------------------------
+
+    def _tenant_of(self, entry: QueueEntry) -> str:
+        pending = self._pending.get(entry.index)
+        return pending.tenant if pending is not None else "default"
+
+    def _head(self, now: float) -> Optional[QueueEntry]:
+        """Expire deadline-missed waiters; peek the dispatchable head."""
+        for missed in self.queue.expire(now):
+            self._resolve_miss(missed)
+        return self.queue.peek()
+
+    def _take_batch(self, now: float) -> List[QueueEntry]:
+        """Pop the head run of same-tenant entries, up to ``max_batch``."""
+        head = self._head(now)
+        if head is None:
+            return []
+        tenant = self._tenant_of(head)
+        limit = (
+            self.config.coalescer.max_batch
+            if self.config.coalescer.enabled
+            else 1
+        )
+        batch: List[QueueEntry] = []
+        while len(batch) < limit:
+            head = self.queue.peek()
+            if head is None or self._tenant_of(head) != tenant:
+                break
+            entry, skipped = self.queue.take(now)
+            for missed in skipped:
+                self._resolve_miss(missed)
+            if entry is None:
+                break
+            batch.append(entry)
+        return batch
+
+    async def _pump(self) -> None:
+        """Drain the admission queue into coalesced batch flushes."""
+        assert self._wake is not None
+        coalescer = self.config.coalescer
+        while True:
+            deadline_us: Optional[float] = None
+            while (
+                self._in_flight < self.config.max_concurrent_batches
+                and len(self.queue)
+            ):
+                now = self.clock.now_us()
+                head = self._head(now)
+                if head is None:
+                    break
+                ready = (
+                    not coalescer.enabled
+                    or self._draining
+                    or len(self.queue) >= coalescer.max_batch
+                    or now - head.arrival_us >= coalescer.max_wait_us
+                    # Idle bypass: with nothing in flight, waiting to
+                    # coalesce would only manufacture latency.
+                    or self._in_flight == 0
+                )
+                if not ready:
+                    deadline_us = head.arrival_us + coalescer.max_wait_us
+                    break
+                batch = self._take_batch(now)
+                if not batch:
+                    continue
+                self._in_flight += 1
+                task = asyncio.create_task(self._run_batch(batch, now))
+                self._batch_tasks.add(task)
+                task.add_done_callback(self._batch_tasks.discard)
+            self._wake.clear()
+            if deadline_us is None:
+                await self._wake.wait()
+            else:
+                timeout_s = max(
+                    0.0, (deadline_us - self.clock.now_us()) * 1e-6
+                )
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout_s)
+                except asyncio.TimeoutError:
+                    pass
+
+    # -- batch execution -------------------------------------------------------
+
+    def _serve_merged(
+        self, batch: List[QueueEntry], start_us: float
+    ) -> _BatchServed:
+        """One engine query over the batch's deduplicated key union.
+
+        Overlapping keys across the batch's members are read once — the
+        shared-page-read path.  Only used when per-request loss
+        attribution cannot arise (no degradation, faults, breakers, or
+        shard deadlines), so members' own keys are all served whenever
+        the union's are; a union-level loss is surfaced as
+        ``unattributed_missing`` rather than silently dropped.
+        """
+        union: Dict[int, None] = {}
+        total_refs = 0
+        for entry in batch:
+            member_keys = entry.query.unique_keys()
+            total_refs += len(member_keys)
+            for key in member_keys:
+                union[key] = None
+        result = self.engine.serve_query(Query(tuple(union)), start_us)
+        missing = result.missing_keys
+        members = [
+            (entry, len(entry.query.unique_keys()), 0) for entry in batch
+        ]
+        return _BatchServed(
+            members=members,
+            query_results=[result],
+            finish_us=result.finish_us,
+            degrade_level=result.degrade_level,
+            pages_read=result.pages_read,
+            duplicate_keys=total_refs - len(union),
+            unattributed_missing=missing,
+        )
+
+    def _serve_each(
+        self, batch: List[QueueEntry], start_us: float, degrade
+    ) -> _BatchServed:
+        """Serve batch members individually (exact per-request results).
+
+        Used when a degradation rung is active or the engine can lose
+        keys (faults / breakers / shard deadlines): shed and missing
+        keys must land on the request that owns them.  Members share the
+        batch's dispatch time, mirroring ``serve_trace``'s simulated
+        worker model.
+        """
+        members: List[Tuple[QueueEntry, int, int]] = []
+        query_results: List[QueryResult] = []
+        finish = start_us
+        level = 0
+        pages = 0
+        for entry in batch:
+            result = self.engine.serve_query(entry.query, start_us, degrade)
+            requested = len(entry.query.unique_keys())
+            members.append(
+                (entry, requested - result.missing_keys, result.missing_keys)
+            )
+            query_results.append(result)
+            finish = max(finish, result.finish_us)
+            level = max(level, result.degrade_level)
+            pages += result.pages_read
+        return _BatchServed(
+            members=members,
+            query_results=query_results,
+            finish_us=finish,
+            degrade_level=level,
+            pages_read=pages,
+        )
+
+    async def _run_batch(
+        self, batch: List[QueueEntry], start_us: float
+    ) -> None:
+        try:
+            await self._execute_batch(batch, start_us)
+        except Exception as exc:
+            # A batch must never wedge its submitters: an engine error
+            # resolves every member as shed("error") so the accounting
+            # invariant (offered == completed + shed + missed) holds and
+            # clients get a 503 instead of a hung connection.  The error
+            # is kept for /metrics rather than re-raised — raising from a
+            # fire-and-forget task would only warn at GC time.
+            for entry in batch:
+                self._resolve_shed(entry, "error")
+            if len(self._batch_errors) < 16:
+                self._batch_errors.append(f"{type(exc).__name__}: {exc}")
+        finally:
+            self._in_flight -= 1
+            if self._wake is not None:
+                self._wake.set()
+
+    async def _execute_batch(
+        self, batch: List[QueueEntry], start_us: float
+    ) -> None:
+        degrade = None
+        if self.controller is not None and self.controller.level > 0:
+            degrade = self.ladder.level(self.controller.level)
+        merge = (
+            self.config.coalescer.enabled
+            and degrade is None
+            and not self._exact_per_query
+            and len(batch) > 1
+        )
+        loop = asyncio.get_running_loop()
+        if merge:
+            served = await loop.run_in_executor(
+                self._executor, self._serve_merged, batch, start_us
+            )
+            self._merged_batches += 1
+        else:
+            served = await loop.run_in_executor(
+                self._executor,
+                self._serve_each,
+                batch,
+                start_us,
+                degrade,
+            )
+        if self.config.pace_service:
+            sleep_s = (
+                max(0.0, served.finish_us - start_us)
+                * self.config.time_scale
+                * 1e-6
+            )
+            if sleep_s > 0:
+                await asyncio.sleep(sleep_s)
+        self._record_batch(batch, served, start_us)
+
+    def _record_batch(
+        self, batch: List[QueueEntry], served: _BatchServed, start_us: float
+    ) -> None:
+        tenant = self._tenant_of(batch[0])
+        self._batches += 1
+        self._coalesced_queries += len(batch)
+        self._duplicate_keys_merged += served.duplicate_keys
+        self._unattributed_missing += served.unattributed_missing
+        if len(self._batch_log) < BATCH_LOG_LIMIT:
+            self._batch_log.append((tenant, len(batch)))
+        self._query_results.extend(served.query_results)
+        depth = self.queue.depth
+        for (entry, served_keys, missing), result in zip(
+            served.members, self._member_results(served)
+        ):
+            latency = result.finish_us - entry.arrival_us
+            if self.controller is not None:
+                self.controller.observe(latency, depth, start_us)
+            self._results.append(
+                OpenLoopResult(
+                    arrival_us=entry.arrival_us,
+                    start_us=start_us,
+                    finish_us=result.finish_us,
+                    requested_keys=len(entry.query.unique_keys()),
+                    missing_keys=missing,
+                    degrade_level=result.degrade_level,
+                    retries=result.retries,
+                    recovered_keys=result.recovered_keys,
+                )
+            )
+            pending = self._pending.pop(entry.index, None)
+            if pending is None:
+                continue
+            outcome = ServeOutcome(
+                status="ok",
+                tenant=pending.tenant,
+                keys=entry.query.keys,
+                arrival_us=entry.arrival_us,
+                served=served_keys,
+                missing=missing,
+                degrade_level=result.degrade_level,
+                start_us=start_us,
+                finish_us=result.finish_us,
+                coalesced=len(batch),
+                batch_pages_read=served.pages_read,
+            )
+            if not pending.future.done():
+                pending.future.set_result(outcome)
+
+    @staticmethod
+    def _member_results(served: _BatchServed) -> List[QueryResult]:
+        """Per-member engine results (the union result repeats for all)."""
+        if len(served.query_results) == len(served.members):
+            return served.query_results
+        return [served.query_results[0]] * len(served.members)
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def brownout_level(self) -> int:
+        """Current degradation rung (0 = full service)."""
+        return self.controller.level if self.controller is not None else 0
+
+    @property
+    def batch_log(self) -> List[Tuple[str, int]]:
+        """(tenant, size) of recent flushed batches (bounded history)."""
+        return list(self._batch_log)
+
+    def open_loop_report(self) -> OpenLoopReport:
+        """Live counters folded into the simulator's report type.
+
+        Identical shape to :class:`~repro.serving.OpenLoopReport`, so
+        ``/metrics`` output reconciles field-by-field with offline
+        simulator runs (offered == completed + shed + misses).
+        """
+        results = list(self._results)
+        span = 0.0
+        if len(results) >= 2:
+            span = max(r.finish_us for r in results) - min(
+                r.arrival_us for r in results
+            )
+        offered_qps = self._offered / (span * 1e-6) if span > 0 else 0.0
+        return OpenLoopReport(
+            offered_qps=offered_qps,
+            results=results,
+            offered=self._offered,
+            shed=dict(self._shed),
+            deadline_misses=self._deadline_misses,
+            brownout_transitions=(
+                list(self.controller.transitions)
+                if self.controller is not None
+                else []
+            ),
+            final_degrade_level=self.brownout_level,
+        )
+
+    def health(self) -> Dict[str, object]:
+        """Liveness summary for ``/health``."""
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": round(
+                (self.clock.now_us() - self._started_at_us) * 1e-6, 3
+            )
+            if self._started
+            else 0.0,
+            "queue_depth": self.queue.depth,
+            "in_flight_batches": self._in_flight,
+            "brownout_level": self.brownout_level,
+            "shards": getattr(self.engine, "num_shards", 1),
+        }
+
+    def metrics(self) -> Dict[str, object]:
+        """Full counter dump for ``/metrics``.
+
+        ``service`` holds the gateway's own accounting (the invariant
+        fields), ``open_loop`` the request-level report, ``serving`` the
+        engine-level trace report, and ``cluster`` per-shard device
+        counters when serving a sharded engine.
+        """
+        completed = len(self._results)
+        shed_total = sum(self._shed.values())
+        batches = self._batches
+        data: Dict[str, object] = {
+            "service": {
+                "offered": self._offered,
+                "completed": completed,
+                "shed": dict(self._shed),
+                "shed_total": shed_total,
+                "deadline_misses": self._deadline_misses,
+                "accounted": completed + shed_total + self._deadline_misses,
+                "queue_depth": self.queue.depth,
+                "in_flight_batches": self._in_flight,
+                "draining": self._draining,
+                "batch_errors": list(self._batch_errors),
+                "brownout_level": self.brownout_level,
+                "tenant_tokens": {
+                    name: round(bucket.tokens, 3)
+                    for name, bucket in sorted(self._buckets.items())
+                },
+                "coalescer": {
+                    "batches": batches,
+                    "merged_batches": self._merged_batches,
+                    "coalesced_queries": self._coalesced_queries,
+                    "duplicate_keys_merged": self._duplicate_keys_merged,
+                    "mean_batch_size": round(
+                        self._coalesced_queries / batches, 3
+                    )
+                    if batches
+                    else 0.0,
+                    "unattributed_missing": self._unattributed_missing,
+                },
+            },
+            "open_loop": self.open_loop_report().as_dict(),
+        }
+        if self._query_results:
+            spec = self.engine.config.spec
+            data["serving"] = aggregate_results(
+                list(self._query_results),
+                page_size=spec.page_size,
+                embedding_bytes=spec.embedding_bytes,
+            ).as_dict()
+        shard_stats = getattr(self.engine, "shard_device_stats", None)
+        if callable(shard_stats):
+            stats = shard_stats()
+            data["cluster"] = {
+                "num_shards": self.engine.num_shards,
+                "shard_reads": [
+                    getattr(s, "reads", 0) for s in stats
+                ],
+                "shard_bytes_read": [
+                    getattr(s, "bytes_read", 0) for s in stats
+                ],
+            }
+        return data

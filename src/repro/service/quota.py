@@ -1,0 +1,54 @@
+"""Per-tenant token buckets for the gateway's quota layer.
+
+Quotas answer a different question than admission control: admission
+protects the *engine* from aggregate overload, a quota protects tenants
+from *each other*.  A request over quota is rejected before it ever
+reaches the waiting room (HTTP 429), so one tenant's burst cannot evict
+another tenant's admitted work.
+
+The bucket refills continuously on the gateway clock (microseconds), so
+behaviour is deterministic given a deterministic clock — tests drive it
+with explicit timestamps exactly like the admission queue and brownout
+controller.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ConfigError
+
+
+class TokenBucket:
+    """Continuous-refill token bucket over explicit ``now_us`` time."""
+
+    def __init__(self, rate_qps: float, burst: int) -> None:
+        if rate_qps <= 0:
+            raise ConfigError(f"rate_qps must be positive, got {rate_qps}")
+        if burst < 1:
+            raise ConfigError(f"burst must be >= 1, got {burst}")
+        self.rate_qps = rate_qps
+        self.burst = burst
+        self._tokens = float(burst)
+        self._last_us: Optional[float] = None
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available as of the last refill."""
+        return self._tokens
+
+    def _refill(self, now_us: float) -> None:
+        if self._last_us is not None and now_us > self._last_us:
+            self._tokens = min(
+                float(self.burst),
+                self._tokens + (now_us - self._last_us) * self.rate_qps * 1e-6,
+            )
+        self._last_us = now_us
+
+    def try_take(self, now_us: float, cost: float = 1.0) -> bool:
+        """Spend ``cost`` tokens at ``now_us``; False when over quota."""
+        self._refill(now_us)
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True
+        return False

@@ -181,6 +181,39 @@ class OpenLoopReport:
         """Completions served at a degradation rung above full service."""
         return sum(1 for r in self.results if r.degrade_level > 0)
 
+    # -- serialization ---------------------------------------------------------
+
+    def as_dict(
+        self, latency_slo_us: "float | None" = None
+    ) -> Dict[str, object]:
+        """Headline metrics as one flat JSON-ready mapping.
+
+        Same shape discipline as
+        :meth:`~repro.cluster.stats.ClusterReport.as_dict`: the service
+        ``/metrics`` endpoint and the benches both emit this, so a live
+        gateway's counters reconcile field-by-field with a simulator
+        report.  ``latency_slo_us`` threads through to
+        :meth:`goodput_qps`.
+        """
+        return {
+            "offered_qps": round(self.offered_qps, 1),
+            "offered": self.offered_count(),
+            "completed": len(self.results),
+            "achieved_qps": round(self.achieved_qps(), 1),
+            "goodput_qps": round(self.goodput_qps(latency_slo_us), 1),
+            "mean_latency_us": round(self.mean_latency_us(), 3),
+            "p50_latency_us": round(self.percentile_latency_us(50.0), 3),
+            "p99_latency_us": round(self.percentile_latency_us(99.0), 3),
+            "mean_queue_wait_us": round(self.mean_queue_wait_us(), 3),
+            "completion_rate": round(self.completion_rate(), 4),
+            "shed": dict(self.shed),
+            "shed_total": self.shed_count,
+            "deadline_misses": self.deadline_misses,
+            "degraded_completions": self.degraded_count(),
+            "brownout_transitions": len(self.brownout_transitions),
+            "final_degrade_level": self.final_degrade_level,
+        }
+
 
 class OpenLoopSimulator:
     """Poisson arrivals, FIFO queue, fixed worker pool, one engine.

@@ -195,6 +195,39 @@ class ServingReport:
             if level > 0
         )
 
+    # -- serialization ---------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        """Headline metrics as one flat JSON-ready mapping.
+
+        The cluster report's :meth:`~repro.cluster.stats.ClusterReport.as_dict`
+        set the shape precedent; this is the single-report counterpart the
+        service ``/metrics`` endpoint and the benches share, so live
+        counters and persisted results stay field-compatible.
+        """
+        return {
+            "queries": self.num_queries,
+            "throughput_qps": round(self.throughput_qps(), 1),
+            "keys_per_second": round(self.keys_per_second(), 1),
+            "mean_latency_us": round(self.mean_latency_us(), 3),
+            "p99_latency_us": round(self.percentile_latency_us(99.0), 3),
+            "effective_bandwidth": round(
+                self.effective_bandwidth_fraction(), 4
+            ),
+            "mean_valid_per_read": round(self.mean_valid_per_read(), 4),
+            "cache_hit_rate": round(self.cache_hit_rate(), 4),
+            "pages_read": self.total_pages_read,
+            "requested_keys": self.total_requested,
+            "retries": self.total_retries,
+            "failed_reads": self.total_failed_reads,
+            "recovered_keys": self.total_recovered_keys,
+            "missing_keys": self.total_missing_keys,
+            "coverage": round(self.coverage(), 6),
+            "degraded_queries": self.degraded_queries,
+            "degraded_mode_queries": self.degraded_mode_queries(),
+            "degrade_shed_keys": self.total_degrade_shed_keys,
+        }
+
 
 def merge_shard_results(results: Sequence[QueryResult]) -> QueryResult:
     """Gather per-shard results of one scattered query into one result.

@@ -294,3 +294,136 @@ class TestCommands:
         assert "gini" in out
         assert "hot_coappearance_breadth" in out
         assert "replication has headroom" in out
+
+
+class TestGatewayCli:
+    def test_listen_and_loadgen_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--layout",
+                "l.json",
+                "--listen",
+                "0.0.0.0:9000",
+                "--no-coalesce",
+                "--tenant",
+                "gold:5000:32:1.0",
+                "--tenant",
+                "bronze",
+                "--pace-service",
+            ]
+        )
+        assert args.trace is None
+        assert args.listen == "0.0.0.0:9000"
+        assert args.no_coalesce is True
+        assert args.tenant == ["gold:5000:32:1.0", "bronze"]
+        args = build_parser().parse_args(
+            [
+                "loadgen",
+                "--target",
+                "127.0.0.1:9000",
+                "--trace",
+                "t.txt",
+                "--concurrency",
+                "4",
+            ]
+        )
+        assert args.command == "loadgen"
+        assert args.concurrency == 4
+
+    def test_serve_without_trace_or_listen_errors(self, tmp_path, capsys):
+        assert main(["serve", "--layout", str(tmp_path / "x.json")]) == 1
+        assert "--trace is required" in capsys.readouterr().err
+
+    def test_address_and_tenant_spec_parsing(self):
+        from repro.cli import _parse_address, _parse_tenants
+
+        assert _parse_address("127.0.0.1:8080") == ("127.0.0.1", 8080)
+        assert _parse_address(":9000") == ("127.0.0.1", 9000)
+        with pytest.raises(SystemExit):
+            _parse_address("no-port")
+        tenants = _parse_tenants(["gold:5000:32:1.5", "bronze"])
+        assert tenants[0].name == "gold"
+        assert tenants[0].rate_qps == 5000.0
+        assert tenants[0].burst == 32
+        assert tenants[0].priority == 1.5
+        assert tenants[1].rate_qps is None
+        with pytest.raises(SystemExit):
+            _parse_tenants([":5"])
+        with pytest.raises(SystemExit):
+            _parse_tenants(["gold:abc"])
+
+    def test_gateway_serves_until_drained(self, tmp_path):
+        """`serve --listen` end-to-end: boot, answer /query, drain via
+        POST /drain, exit 0 — the same path the CI smoke job drives."""
+        import json as jsonlib
+        import re
+        import subprocess
+        import sys
+        import urllib.request
+
+        trace_path = str(tmp_path / "trace.txt")
+        layout_path = str(tmp_path / "layout.json")
+        main(
+            [
+                "generate",
+                "--dataset",
+                "amazon_m2",
+                "--scale",
+                "small",
+                "--out",
+                trace_path,
+            ]
+        )
+        main(
+            ["build", "--trace", trace_path, "--ratio", "0.1", "--out", layout_path]
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--layout",
+                layout_path,
+                "--listen",
+                "127.0.0.1:0",
+                "--admission-capacity",
+                "64",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            match = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+            assert match, f"no listen banner in {banner!r}"
+            base = f"http://127.0.0.1:{match.group(1)}"
+            request = urllib.request.Request(
+                f"{base}/query",
+                data=jsonlib.dumps({"keys": [0, 1, 2]}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(request, timeout=10) as resp:
+                payload = jsonlib.loads(resp.read())
+            assert payload["status"] == "ok"
+            assert payload["served"] == 3
+            with urllib.request.urlopen(
+                f"{base}/metrics", timeout=10
+            ) as resp:
+                metrics = jsonlib.loads(resp.read())
+            svc = metrics["service"]
+            assert svc["offered"] == svc["accounted"] == 1
+            drain = urllib.request.Request(
+                f"{base}/drain", data=b"", method="POST"
+            )
+            with urllib.request.urlopen(drain, timeout=10) as resp:
+                assert resp.status == 200
+            out, _ = proc.communicate(timeout=30)
+            assert proc.returncode == 0, out
+            assert "gateway drained cleanly" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
