@@ -172,6 +172,24 @@ def test_ablation_page_grain_admission(benchmark, scale):
     ), "page-grain admission should not transform LRU's hit rate"
 
 
+def test_ablation_tiering(benchmark, scale, max_queries):
+    result = benchmark.pedantic(
+        ablations.run_tiering,
+        kwargs=dict(scale=scale, max_queries=max_queries),
+        rounds=1,
+        iterations=1,
+    )
+    publish(result)
+    by_name = {row[0]: row for row in result.rows}
+    # At equal DRAM budget the statistical tier must hold its own
+    # against reactive LRU: no fewer DRAM hits (beyond noise), no more
+    # page reads.  (The decisive wins show up on the pure-Zipf presets
+    # in bench_tiering; criteo's grouped head is LRU-friendly.)
+    assert by_name["pinned"][1] >= by_name["lru"][1] * 0.95
+    assert by_name["pinned"][2] <= by_name["lru"][2] * 1.02
+    assert by_name["hybrid"][2] <= by_name["lru"][2] * 1.02
+
+
 def test_ablation_partitioner_refinement(benchmark, scale, max_queries):
     result = benchmark.pedantic(
         ablations.run_partitioner_refinement,

@@ -14,23 +14,36 @@ def test_fig12_cache_ratio(benchmark, scale, max_queries):
     )
     publish(result)
     # Paper shape: (1) throughput rises (then saturates) with cache size;
-    # (2) MaxEmbed stays above SHP at every cache ratio.
+    # (2) MaxEmbed stays above SHP at every cache ratio.  Each series is
+    # reported once per DRAM tier mode at equal budget.
     by_dataset = {}
     for row in result.rows:
-        by_dataset.setdefault(row[0], {})[row[1]] = row[2:]
+        by_dataset.setdefault(row[0], {})[(row[1], row[2])] = row[3:]
     for dataset, series in by_dataset.items():
-        shp = series["shp"]
+        shp = series[("shp", "lru")]
         assert shp[-1] > shp[0] * 0.9, f"no cache benefit on {dataset}"
-        for label, values in series.items():
+        for (label, tier), values in series.items():
             if label == "shp":
                 continue
-            # MaxEmbed never loses to SHP; at large caches the two tie
-            # exactly (the cache absorbs everything, the SSD is idle).
-            for me, base in zip(values, shp):
-                assert me >= base * 0.995, (
-                    f"{label} lost to SHP on {dataset}: {me} < {base}"
+            if tier == "lru":
+                # MaxEmbed never loses to SHP; at large caches the two
+                # tie exactly (the cache absorbs everything, the SSD is
+                # idle).
+                for me, base in zip(values, shp):
+                    assert me >= base * 0.995, (
+                        f"{label} lost to SHP on {dataset}: {me} < {base}"
+                    )
+                # ...and at the smallest cache the replication win is
+                # real.
+                assert values[0] > shp[0], (
+                    f"{label} shows no small-cache gain on {dataset}"
                 )
-            # ...and at the smallest cache the replication win is real.
-            assert values[0] > shp[0], (
-                f"{label} shows no small-cache gain on {dataset}"
-            )
+            else:
+                # The tiered variant gets the same DRAM budget as its
+                # lru row; it must never trail beyond noise.
+                reactive = series[(label, "lru")]
+                for tiered, base in zip(values, reactive):
+                    assert tiered >= base * 0.9, (
+                        f"{label}/{tier} fell behind lru on {dataset}: "
+                        f"{tiered} < {base}"
+                    )

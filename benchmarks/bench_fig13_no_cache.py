@@ -14,10 +14,13 @@ def test_fig13_no_cache(benchmark, scale, max_queries):
     )
     publish(result)
     # Paper shape: cacheless throughput grows with r (1.08-1.31x already at
-    # a small r), and a pure-DRAM system dominates by a wide margin.
+    # a small r), and a pure-DRAM system dominates by a wide margin.  The
+    # pinned column sits between the best cacheless engine and all-DRAM.
     for row in result.rows:
         dataset = row[0]
-        r0, r20, r80, dram = row[1], row[2], row[4], row[5]
+        r0, r20, r80, pinned, dram = row[1], row[2], row[4], row[5], row[6]
         assert r20 > r0, f"r=20% gave no cacheless gain on {dataset}"
         assert r80 > r0, f"r=80% gave no cacheless gain on {dataset}"
         assert dram > 3 * r80, f"pure DRAM not dominant on {dataset}"
+        assert pinned >= r80, f"pinned tier lost throughput on {dataset}"
+        assert pinned < dram, f"pinned tier beat pure DRAM on {dataset}"

@@ -13,6 +13,7 @@ from .policies import (
     CACHE_POLICIES,
     FifoCache,
     LfuCache,
+    NullCache,
     SegmentedLruCache,
     make_cache,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "EmbeddingCache",
     "FifoCache",
     "LfuCache",
+    "NullCache",
     "SegmentedLruCache",
     "CACHE_POLICIES",
     "make_cache",

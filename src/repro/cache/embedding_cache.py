@@ -38,30 +38,31 @@ class EmbeddingCache:
         self.cache_ratio = cache_ratio
         self.policy = policy
         capacity = math.ceil(num_keys * cache_ratio)
-        self._cache = make_cache(policy, capacity) if capacity > 0 else None
+        # make_cache returns a NullCache (zeroed, never-counting stats)
+        # at capacity 0, so the disabled path is policy-uniform.
+        self._cache = make_cache(policy, capacity)
+        self._enabled = capacity > 0
 
     @property
     def enabled(self) -> bool:
         """False for a zero-ratio (cacheless) configuration."""
-        return self._cache is not None
+        return self._enabled
 
     @property
     def capacity(self) -> int:
         """Entry capacity (0 when disabled)."""
-        # `is not None` matters: LruCache defines __len__, so an *empty*
-        # cache is falsy even though it is very much enabled.
-        return self._cache.capacity if self._cache is not None else 0
+        return self._cache.capacity
 
     @property
     def stats(self) -> CacheStats:
-        """Underlying LRU counters (fresh zeros when disabled)."""
-        return self._cache.stats if self._cache is not None else CacheStats()
+        """Underlying policy counters (zeros when disabled)."""
+        return self._cache.stats
 
     def filter_hits(self, keys: Iterable[int]) -> Tuple[List[int], List[int]]:
         """Split ``keys`` into (hits, misses), refreshing recency on hits."""
         hits: List[int] = []
         misses: List[int] = []
-        if self._cache is None:
+        if not self._enabled:
             misses = list(keys)
             return hits, misses
         for key in keys:
@@ -73,19 +74,18 @@ class EmbeddingCache:
 
     def admit(self, keys: Iterable[int]) -> None:
         """Insert keys served from SSD (no-op when disabled)."""
-        if self._cache is None:
+        if not self._enabled:
             return
         for key in keys:
             self._cache.put(key, True)
 
     def admit_value(self, key: int, value) -> None:
         """Insert one key with an explicit value (DLRM path)."""
-        if self._cache is not None:
-            self._cache.put(key, value)
+        self._cache.put(key, value)
 
     def get_value(self, key: int):
         """Value lookup for the DLRM path (None on miss or disabled)."""
-        return self._cache.get(key) if self._cache is not None else None
+        return self._cache.get(key)
 
     def warm(self, keys: Iterable[int]) -> None:
         """Pre-populate without counting stats churn (admits in order)."""

@@ -224,6 +224,45 @@ class SegmentedLruCache(Generic[K, V]):
         self._protected.clear()
 
 
+class NullCache(Generic[K, V]):
+    """The disabled (zero-capacity) cache: never stores, never counts.
+
+    A ``cache_ratio=0`` configuration must report zeroed
+    :class:`CacheStats` regardless of policy — the historical LRU-only
+    disabled path returned fresh zero counters, so lookups against a
+    disabled cache are *not* misses.  Centralizing that contract here
+    makes it uniform across all four policies.
+    """
+
+    def __init__(self) -> None:
+        self.stats = CacheStats()
+
+    @property
+    def capacity(self) -> int:
+        """Always 0."""
+        return 0
+
+    def __len__(self) -> int:
+        return 0
+
+    def __contains__(self, key: K) -> bool:
+        return False
+
+    def get(self, key: K) -> Optional[V]:
+        """Always None; does NOT count a miss (the cache is disabled)."""
+        return None
+
+    def peek(self, key: K) -> Optional[V]:
+        """Always None."""
+        return None
+
+    def put(self, key: K, value: V) -> None:
+        """Dropped."""
+
+    def evict_all(self) -> None:
+        """No-op."""
+
+
 CACHE_POLICIES = {
     "lru": LruCache,
     "fifo": FifoCache,
@@ -233,7 +272,12 @@ CACHE_POLICIES = {
 
 
 def make_cache(policy: str, capacity: int):
-    """Instantiate a cache by policy name (``lru``/``fifo``/``lfu``/``slru``)."""
+    """Instantiate a cache by policy name (``lru``/``fifo``/``lfu``/``slru``).
+
+    ``capacity <= 0`` returns a :class:`NullCache` (after the policy name
+    is validated), so every policy shares the same disabled semantics:
+    zeroed stats, lookups uncounted.
+    """
     try:
         factory = CACHE_POLICIES[policy]
     except KeyError:
@@ -241,4 +285,6 @@ def make_cache(policy: str, capacity: int):
             f"unknown cache policy {policy!r}; "
             f"available: {sorted(CACHE_POLICIES)}"
         )
+    if capacity <= 0:
+        return NullCache()
     return factory(capacity)

@@ -89,6 +89,19 @@ def _add_build(subparsers) -> None:
         help="array-backed offline pipeline (default) or the reference "
         "pure-python loops; layouts are identical",
     )
+    p.add_argument(
+        "--tier-ratio",
+        type=float,
+        default=0.0,
+        help="also plan a pinned DRAM tier of this table fraction from "
+        "the build trace's hotness (single-shard builds only)",
+    )
+    p.add_argument(
+        "--tier-out",
+        default=None,
+        help="output file for the tier plan (default: <out>.tier.json "
+        "when --tier-ratio > 0)",
+    )
     p.add_argument("--out", required=True, help="output layout file")
 
 
@@ -117,6 +130,27 @@ def _add_serve(subparsers) -> None:
         "--cache-policy",
         default="lru",
         choices=["lru", "fifo", "lfu", "slru"],
+    )
+    p.add_argument(
+        "--tier-mode",
+        default="lru",
+        choices=["pinned", "lru", "hybrid"],
+        help="DRAM tier strategy: reactive LRU cache only (default), a "
+        "statistically pinned hot set, or pinned + LRU for the residue",
+    )
+    p.add_argument(
+        "--tier-ratio",
+        type=float,
+        default=0.0,
+        help="pinned-tier size as a fraction of the table (with "
+        "--tier-mode pinned/hybrid; ignored under lru)",
+    )
+    p.add_argument(
+        "--tier-plan",
+        default=None,
+        help="load a pre-computed tier plan (from `maxembed build "
+        "--tier-ratio`) instead of deriving one from replica counts; "
+        "single-shard layouts only",
     )
     p.add_argument("--index-limit", type=int, default=None)
     p.add_argument(
@@ -386,6 +420,17 @@ def _cmd_build(args) -> int:
         f"({layout.num_replica_pages} replicas, "
         f"space overhead {layout.space_overhead():.1%}) -> {args.out}"
     )
+    if args.tier_ratio > 0:
+        from .tiering import plan_tier_from_trace, save_tier_plan
+
+        tier_plan = plan_tier_from_trace(layout, trace, args.tier_ratio)
+        tier_out = args.tier_out or f"{args.out}.tier.json"
+        save_tier_plan(tier_plan, tier_out)
+        print(
+            f"planned DRAM tier: {tier_plan.capacity} pinned keys "
+            f"({args.tier_ratio:.1%} of table, by {tier_plan.source}) "
+            f"-> {tier_out}"
+        )
     return 0
 
 
@@ -413,6 +458,20 @@ def _fault_options(args) -> dict:
         options["retry"] = RetryPolicy(max_retries=args.retry_max)
     if getattr(args, "shard_deadline_us", None) is not None:
         options["shard_deadline_us"] = args.shard_deadline_us
+    return options
+
+
+def _tier_options(args) -> dict:
+    """EngineConfig kwargs for the serve command's DRAM-tier flags."""
+    options: dict = {}
+    if getattr(args, "tier_mode", "lru") != "lru":
+        options["tier_mode"] = args.tier_mode
+        options["tier_ratio"] = args.tier_ratio
+    if getattr(args, "tier_plan", None):
+        from .tiering import load_tier_plan
+
+        options.setdefault("tier_mode", "pinned")
+        options["tier_plan"] = load_tier_plan(args.tier_plan)
     return options
 
 
@@ -522,6 +581,7 @@ def _build_serve_engine(args):
     from .serving import EngineConfig, ServingEngine
 
     fault_options = _fault_options(args)
+    tier_options = _tier_options(args)
     if is_sharded_layout_file(args.layout):
         from .cluster import ClusterEngine, load_sharded_layout
 
@@ -542,6 +602,7 @@ def _build_serve_engine(args):
             cache_ratio=args.cache_ratio,
             cache_policy=args.cache_policy,
             index_limit=args.index_limit,
+            **tier_options,
             selector=args.selector,
             fast_selection=args.selection_path == "fast",
             executor=args.executor,
@@ -636,6 +697,7 @@ def _cmd_serve_cluster(args, trace) -> int:
             cache_ratio=args.cache_ratio,
             cache_policy=args.cache_policy,
             index_limit=args.index_limit,
+            **_tier_options(args),
             selector=args.selector,
             fast_selection=args.selection_path == "fast",
             executor=args.executor,
@@ -685,6 +747,7 @@ def _cmd_serve(args) -> int:
     layout = load_layout(args.layout)
     fault_options = _fault_options(args)
     fault_options.pop("shard_deadline_us", None)  # cluster-only knob
+    tier_options = _tier_options(args)
     if args.offered_qps is not None:
         from .serving import EngineConfig, ServingEngine
 
@@ -699,11 +762,12 @@ def _cmd_serve(args) -> int:
                 fast_selection=args.selection_path == "fast",
                 executor=args.executor,
                 threads=args.threads,
+                **tier_options,
                 **fault_options,
             ),
         )
         return _serve_open_loop(engine, trace, args)
-    if fault_options:
+    if fault_options or tier_options.get("tier_plan") is not None:
         from .serving import EngineConfig, ServingEngine
 
         engine = ServingEngine(
@@ -717,6 +781,7 @@ def _cmd_serve(args) -> int:
                 fast_selection=args.selection_path == "fast",
                 executor=args.executor,
                 threads=args.threads,
+                **tier_options,
                 **fault_options,
             ),
         )
@@ -727,6 +792,8 @@ def _cmd_serve(args) -> int:
             spec=EmbeddingSpec(dim=args.dim),
             cache_ratio=args.cache_ratio,
             cache_policy=args.cache_policy,
+            tier_mode=args.tier_mode,
+            tier_ratio=args.tier_ratio,
             index_limit=args.index_limit,
             selector=args.selector,
             fast_selection=args.selection_path == "fast",
@@ -747,6 +814,7 @@ def _cmd_serve(args) -> int:
                     report.effective_bandwidth_fraction(), 4
                 ),
                 "cache_hit_rate": round(report.cache_hit_rate(), 4),
+                "tier_hit_rate": round(report.tier_hit_rate(), 4),
                 "pages_read": report.total_pages_read,
             },
         )

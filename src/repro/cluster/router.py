@@ -81,6 +81,15 @@ class ClusterEngine:
         self.sharded = sharded
         self.plan = sharded.plan
         self.config = config or EngineConfig()
+        if self.config.tier_plan is not None and self.plan.num_shards > 1:
+            # An explicit tier plan is expressed in one layout's key ids;
+            # shard layouts use shard-local ids, so a global plan cannot
+            # be applied verbatim.  Shards derive their own plans from
+            # tier_ratio instead.
+            raise ServingError(
+                "explicit tier_plan is single-engine only; use tier_ratio "
+                "so each shard derives a shard-local plan"
+            )
         self.engines: List[ServingEngine] = [
             ServingEngine(layout, self.config)
             for layout in sharded.layouts
@@ -399,6 +408,7 @@ class ClusterEngine:
         shard_pages = [0] * self.num_shards
         shard_ssd_keys = [0] * self.num_shards
         shard_cache_hits = [0] * self.num_shards
+        shard_tier_hits = [0] * self.num_shards
         shard_requested = [0] * self.num_shards
         shard_missing = [0] * self.num_shards
         shard_timeouts = [0] * self.num_shards
@@ -429,6 +439,7 @@ class ClusterEngine:
                 shard_pages[shard] += sub.pages_read
                 shard_ssd_keys[shard] += sub.ssd_keys
                 shard_cache_hits[shard] += sub.cache_hits
+                shard_tier_hits[shard] += sub.tier_hits
                 shard_requested[shard] += sub.requested_keys
                 shard_missing[shard] += sub.missing_keys
                 latencies.append(sub.latency_us)
@@ -458,6 +469,7 @@ class ClusterEngine:
             shard_pages_read=shard_pages,
             shard_ssd_keys=shard_ssd_keys,
             shard_cache_hits=shard_cache_hits,
+            shard_tier_hits=shard_tier_hits,
             fanouts=fanouts,
             max_shard_latency_us=max_shard_latency,
             straggler_us=straggler,
@@ -484,3 +496,17 @@ class ClusterEngine:
     def shard_device_stats(self) -> List[Optional[object]]:
         """Each shard device's :class:`~repro.ssd.device.DeviceStats`."""
         return [engine.device.stats for engine in self.engines]
+
+    def tier_info(self) -> Optional[dict]:
+        """Cluster tier summary (None when no shard runs a DRAM tier)."""
+        infos = [engine.tier_info() for engine in self.engines]
+        if all(info is None for info in infos):
+            return None
+        return {
+            "mode": self.config.tier_mode,
+            "tier_ratio": self.config.tier_ratio,
+            "pinned_keys": sum(
+                info["pinned_keys"] for info in infos if info is not None
+            ),
+            "shards": infos,
+        }

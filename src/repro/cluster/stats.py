@@ -36,7 +36,9 @@ class ClusterReport:
         shard_queries: sub-queries routed to each shard.
         shard_pages_read: SSD page reads issued by each shard.
         shard_ssd_keys: keys each shard served from SSD.
-        shard_cache_hits: keys each shard served from DRAM.
+        shard_cache_hits: keys each shard served from its DRAM cache.
+        shard_tier_hits: keys each shard served from its pinned DRAM
+            tier (all zeros when no tier is configured).
         fanouts: shards touched per query, in serve order.
         max_shard_latency_us: per query, the slowest shard's latency.
         straggler_us: per query, slowest-shard latency minus the mean
@@ -61,6 +63,7 @@ class ClusterReport:
     shard_pages_read: List[int] = field(default_factory=list)
     shard_ssd_keys: List[int] = field(default_factory=list)
     shard_cache_hits: List[int] = field(default_factory=list)
+    shard_tier_hits: List[int] = field(default_factory=list)
     fanouts: List[int] = field(default_factory=list)
     max_shard_latency_us: List[float] = field(default_factory=list)
     straggler_us: List[float] = field(default_factory=list)
@@ -99,9 +102,12 @@ class ClusterReport:
 
     def key_load_imbalance(self) -> float:
         """Max-over-mean of per-shard served keys (SSD + DRAM)."""
+        tier = self.shard_tier_hits or [0] * len(self.shard_ssd_keys)
         loads = [
-            s + c
-            for s, c in zip(self.shard_ssd_keys, self.shard_cache_hits)
+            s + c + t
+            for s, c, t in zip(
+                self.shard_ssd_keys, self.shard_cache_hits, tier
+            )
         ]
         total = sum(loads)
         if not total:
@@ -164,6 +170,8 @@ class ClusterReport:
                 self.report.effective_bandwidth_fraction(), 4
             ),
             "cache_hit_rate": round(self.report.cache_hit_rate(), 4),
+            "tier_hits": self.report.total_tier_hits,
+            "tier_hit_rate": round(self.report.tier_hit_rate(), 4),
             "load_imbalance": round(self.load_imbalance(), 3),
             "mean_fanout": round(self.mean_fanout(), 3),
             "mean_straggler_us": round(self.mean_straggler_us(), 2),

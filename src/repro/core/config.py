@@ -35,6 +35,12 @@ class MaxEmbedConfig:
         index_limit: forward-index shrink ``k`` (None = full index).
         cache_ratio: DRAM cache as a fraction of the table.
         cache_policy: eviction policy (``lru``/``fifo``/``lfu``/``slru``).
+        tier_mode: DRAM tier strategy: ``"lru"`` (reactive cache only,
+            the historical default), ``"pinned"`` (statistical pinned
+            hot set, LRU off), or ``"hybrid"`` (pinned hot set plus an
+            LRU front for the residue).
+        tier_ratio: pinned tier size as a fraction of the table
+            (ignored under ``tier_mode="lru"``).
         profile: simulated SSD profile.
         raid_members: >1 stripes over a RAID-0.
         selector / executor: online algorithms (see
@@ -80,6 +86,8 @@ class MaxEmbedConfig:
     index_limit: Optional[int] = None
     cache_ratio: float = 0.10
     cache_policy: str = "lru"
+    tier_mode: str = "lru"
+    tier_ratio: float = 0.0
     profile: SsdProfile = P5800X
     raid_members: int = 1
     selector: str = "onepass"
@@ -100,6 +108,10 @@ class MaxEmbedConfig:
     seed: int = 0
 
     _STRATEGIES = ("maxembed", "rpp", "fpr", "none")
+    # Kept in sync with repro.tiering.TIER_MODES (tiering imports
+    # placement/types only, but core already mirrors cluster constants
+    # this way — see _SHARD_STRATEGIES below).
+    _TIER_MODES = ("pinned", "lru", "hybrid")
     _OFFLINE_PATHS = ("fast", "reference")
     _PARTITIONERS = ("shp", "multilevel", "random", "vanilla")
     # Kept in sync with repro.cluster.planner.SHARD_STRATEGIES (the
@@ -142,6 +154,15 @@ class MaxEmbedConfig:
         if self.offline_workers is not None and self.offline_workers < 0:
             raise ConfigError(
                 f"offline_workers must be >= 0, got {self.offline_workers}"
+            )
+        if self.tier_mode not in self._TIER_MODES:
+            raise ConfigError(
+                f"unknown tier mode {self.tier_mode!r}; "
+                f"choose from {self._TIER_MODES}"
+            )
+        if not 0.0 <= self.tier_ratio <= 1.0:
+            raise ConfigError(
+                f"tier_ratio must be in [0, 1], got {self.tier_ratio}"
             )
         if self.admission_policy not in ADMISSION_POLICIES:
             raise ConfigError(

@@ -7,6 +7,7 @@ a directory::
     bundle/
       config.json   — MaxEmbedConfig (spec, ratios, online knobs)
       layout.json   — the page layout (repro.placement.serialize format)
+      tier.json     — optional pinned DRAM tier plan (CRC envelope)
       table.npy     — optional float32 embedding table
 
 ``save_store`` / ``load_store`` round-trip everything needed to resume
@@ -44,6 +45,7 @@ from ..partition import ShpConfig
 from ..placement import load_layout, save_layout
 from ..serving import CpuCostModel
 from ..ssd import PROFILES, SsdProfile
+from ..tiering import load_tier_plan, save_tier_plan
 from ..types import EmbeddingSpec
 from .config import MaxEmbedConfig
 from .store import MaxEmbedStore
@@ -74,6 +76,8 @@ def config_to_dict(config: MaxEmbedConfig) -> dict:
         "index_limit": config.index_limit,
         "cache_ratio": config.cache_ratio,
         "cache_policy": config.cache_policy,
+        "tier_mode": config.tier_mode,
+        "tier_ratio": config.tier_ratio,
         "profile": _profile_name(config.profile),
         "raid_members": config.raid_members,
         "selector": config.selector,
@@ -123,6 +127,8 @@ def config_from_dict(data: dict) -> MaxEmbedConfig:
         index_limit=data["index_limit"],
         cache_ratio=data["cache_ratio"],
         cache_policy=data.get("cache_policy", "lru"),
+        tier_mode=data.get("tier_mode", "lru"),
+        tier_ratio=data.get("tier_ratio", 0.0),
         profile=PROFILES[data["profile"]],
         raid_members=data["raid_members"],
         selector=data["selector"],
@@ -144,6 +150,9 @@ def save_store(store: MaxEmbedStore, directory: PathLike) -> Path:
         )
     )
     save_layout(store.layout, path / "layout.json")
+    tier_plan = store.engine.tier_plan
+    if tier_plan is not None:
+        save_tier_plan(tier_plan, path / "tier.json")
     sidecars = {}
     table = getattr(store, "_table", None)
     if table is not None:
@@ -203,4 +212,8 @@ def load_store(directory: PathLike) -> MaxEmbedStore:
     table_path = path / "table.npy"
     if table_path.exists():
         table = np.load(table_path)
-    return MaxEmbedStore(layout, config, table=table)
+    tier_plan = None
+    tier_path = path / "tier.json"
+    if tier_path.exists():
+        tier_plan = load_tier_plan(tier_path)
+    return MaxEmbedStore(layout, config, table=table, tier_plan=tier_plan)

@@ -30,6 +30,7 @@ from ..replication import (
 )
 from ..serving import EngineConfig, QueryResult, ServingEngine, ServingReport
 from ..ssd.page_store import extract_embedding, materialize_layout
+from ..tiering import TierPlan, plan_tier_from_trace
 from ..types import Query, QueryTrace
 from .config import MaxEmbedConfig
 
@@ -88,6 +89,7 @@ class MaxEmbedStore:
         layout: PageLayout,
         config: "MaxEmbedConfig | None" = None,
         table: "np.ndarray | None" = None,
+        tier_plan: "TierPlan | None" = None,
     ) -> None:
         """Wrap an existing layout.  Prefer :meth:`build` for the full flow.
 
@@ -97,6 +99,9 @@ class MaxEmbedStore:
             table: optional ``(num_keys, dim)`` float32 embedding table;
                 when given, page payloads are materialized and
                 :meth:`lookup` can return real vectors.
+            tier_plan: optional pre-computed DRAM tier plan; without one
+                a ``pinned``/``hybrid`` ``config.tier_mode`` derives a
+                replica-count plan from the layout.
         """
         self.config = config or MaxEmbedConfig()
         self.layout = layout
@@ -107,6 +112,9 @@ class MaxEmbedStore:
                 profile=self.config.profile,
                 cache_ratio=self.config.cache_ratio,
                 cache_policy=self.config.cache_policy,
+                tier_mode=self.config.tier_mode,
+                tier_ratio=self.config.tier_ratio,
+                tier_plan=tier_plan,
                 index_limit=self.config.index_limit,
                 selector=self.config.selector,
                 fast_selection=self.config.fast_selection,
@@ -131,10 +139,19 @@ class MaxEmbedStore:
         config: "MaxEmbedConfig | None" = None,
         table: "np.ndarray | None" = None,
     ) -> "MaxEmbedStore":
-        """Offline phase + engine in one call."""
+        """Offline phase + engine in one call.
+
+        With a ``pinned``/``hybrid`` ``config.tier_mode`` the tier plan
+        is derived *statistically* from the same historical trace that
+        drove placement (hotness counts break ties by replica counts),
+        so the DRAM hot set is decided offline, not reactively.
+        """
         config = config or MaxEmbedConfig()
         layout = build_offline_layout(trace, config)
-        return cls(layout, config, table)
+        tier_plan = None
+        if config.tier_mode != "lru" and config.tier_ratio > 0:
+            tier_plan = plan_tier_from_trace(layout, trace, config.tier_ratio)
+        return cls(layout, config, table, tier_plan=tier_plan)
 
     def attach_table(self, table: np.ndarray) -> None:
         """Materialize real embedding vectors onto the simulated pages."""
@@ -174,10 +191,19 @@ class MaxEmbedStore:
                 "no embedding table attached; call attach_table() first"
             )
         keys = query.unique_keys()
+        tier = self.engine.tier
+        if tier is not None:
+            # Pinned-tier keys live in DRAM permanently: serve them from
+            # the table without touching the cache or the SSD.
+            tier_keys, keys = tier.split(keys)
+        else:
+            tier_keys = []
         hits, misses = self.engine.cache.filter_hits(keys)
         vectors: Dict[int, np.ndarray] = {
-            k: self._table[k].copy() for k in hits
+            k: self._table[k].copy() for k in tier_keys
         }
+        for k in hits:
+            vectors[k] = self._table[k].copy()
         if misses:
             outcome = self.engine.selector.select(misses)
             wanted = set(misses)

@@ -17,6 +17,7 @@ from ..partition import ShpConfig
 from ..placement import PageLayout
 from ..serving import CpuCostModel, EngineConfig, ServingEngine, ServingReport
 from ..ssd import SsdProfile, P5800X
+from ..tiering import TierPlan
 from ..types import EmbeddingSpec, QueryTrace
 from ..workloads import make_trace
 
@@ -35,6 +36,7 @@ DEFAULT_RATIOS: Tuple[float, ...] = (0.1, 0.2, 0.4, 0.8)
 _trace_cache: Dict[tuple, Tuple[QueryTrace, QueryTrace]] = {}
 _layout_cache: Dict[tuple, PageLayout] = {}
 _sharded_cache: Dict[tuple, ShardedLayout] = {}
+_tier_cache: Dict[tuple, TierPlan] = {}
 
 
 def clear_caches() -> None:
@@ -42,6 +44,7 @@ def clear_caches() -> None:
     _trace_cache.clear()
     _layout_cache.clear()
     _sharded_cache.clear()
+    _tier_cache.clear()
 
 
 def get_split_trace(
@@ -126,6 +129,32 @@ def sharded_layout_for(
     return _sharded_cache[key]
 
 
+def tier_plan_for(
+    dataset: str,
+    strategy: str,
+    ratio: float,
+    tier_ratio: float,
+    scale: str = "bench",
+    seed: int = 0,
+    dim: int = 64,
+) -> TierPlan:
+    """Statistical tier plan from the dataset's history half, memoized.
+
+    Same protocol as the layouts: the plan only ever sees the first
+    half of the trace, so the live half measures true generalization
+    of the offline hot-set selection.
+    """
+    from ..tiering import plan_tier_from_trace
+
+    key = (dataset, strategy, round(ratio, 6), round(tier_ratio, 6),
+           scale, seed, dim)
+    if key not in _tier_cache:
+        layout = layout_for(dataset, strategy, ratio, scale, seed, dim)
+        history, _ = get_split_trace(dataset, scale, seed)
+        _tier_cache[key] = plan_tier_from_trace(layout, history, tier_ratio)
+    return _tier_cache[key]
+
+
 def make_engine(
     layout: PageLayout,
     dim: int = 64,
@@ -137,6 +166,9 @@ def make_engine(
     threads: int = 8,
     raid_members: int = 1,
     cost_model: "CpuCostModel | None" = None,
+    tier_mode: str = "lru",
+    tier_ratio: float = 0.0,
+    tier_plan: "TierPlan | None" = None,
 ) -> ServingEngine:
     """Construct a serving engine with experiment-friendly defaults."""
     return ServingEngine(
@@ -151,6 +183,9 @@ def make_engine(
             threads=threads,
             raid_members=raid_members,
             cost_model=cost_model or CpuCostModel(),
+            tier_mode=tier_mode,
+            tier_ratio=tier_ratio,
+            tier_plan=tier_plan,
         ),
     )
 

@@ -4,14 +4,61 @@ Paper: throughput rises with cache size and saturates; MaxEmbed keeps an
 edge (up to 1.2×) at every cache ratio because replication also helps the
 cold keys the cache never holds; CriteoTB (coldest combinations) is the
 least cache-sensitive.
+
+Extension: each strategy row is reported per DRAM *tier mode* at equal
+DRAM budget — reactive ``lru`` (the paper's CacheLib configuration),
+statistical ``pinned`` (the whole budget pins history-hot keys, no
+cache), and ``hybrid`` (half pinned, half LRU) — so the figure doubles
+as the RecShard-style statistical-vs-reactive admission comparison.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from .common import layout_for, make_engine, serve_live
+from .common import layout_for, make_engine, serve_live, tier_plan_for
 from .report import ExperimentResult
+
+TIER_SERIES: Sequence[str] = ("lru", "pinned", "hybrid")
+
+
+def tiered_engine_options(
+    mode: str,
+    dram_budget: float,
+    dataset: str,
+    strategy: str,
+    ratio: float,
+    scale: str,
+    seed: int,
+    dim: int,
+) -> dict:
+    """``make_engine`` kwargs giving ``mode`` the same DRAM key budget.
+
+    ``lru`` spends the whole budget on the reactive cache, ``pinned``
+    on the statistical hot set, ``hybrid`` splits it evenly — so rows
+    compare admission policies, not memory sizes.
+    """
+    if mode == "lru":
+        return {"cache_ratio": dram_budget}
+    if mode == "pinned":
+        tier_ratio = dram_budget
+        cache_ratio = 0.0
+    elif mode == "hybrid":
+        tier_ratio = dram_budget / 2
+        cache_ratio = dram_budget / 2
+    else:
+        raise ValueError(f"unknown tier mode {mode!r}")
+    plan = None
+    if tier_ratio > 0:
+        plan = tier_plan_for(
+            dataset, strategy, ratio, tier_ratio, scale, seed, dim
+        )
+    return {
+        "cache_ratio": cache_ratio,
+        "tier_mode": mode,
+        "tier_ratio": tier_ratio,
+        "tier_plan": plan,
+    }
 
 # The paper sweeps 1-40 %; datasets of its Figure 12.
 DEFAULT_CACHE_RATIOS: Sequence[float] = (0.01, 0.02, 0.03, 0.05, 0.10, 0.20, 0.40)
@@ -32,10 +79,15 @@ def run(
     dim: int = 64,
     max_queries: Optional[int] = None,
     index_limit: Optional[int] = 5,
+    tier_modes: Sequence[str] = ("lru", "hybrid"),
 ) -> ExperimentResult:
-    """Regenerate Figure 12: one row per (dataset, series), qps per cache ratio."""
-    headers = ["dataset", "series"] + [
-        f"cache{int(c * 100)}%" for c in cache_ratios
+    """Regenerate Figure 12: one row per (dataset, series, tier mode).
+
+    Each column is one DRAM budget; every ``tier_modes`` member gets the
+    same budget per column, allocated per its admission policy.
+    """
+    headers = ["dataset", "series", "tier"] + [
+        f"dram{int(c * 100)}%" for c in cache_ratios
     ]
     result = ExperimentResult(
         exp_id="fig12",
@@ -43,7 +95,8 @@ def run(
         headers=headers,
         notes=(
             "throughput rises then saturates with cache size; MaxEmbed "
-            "stays above SHP at every cache ratio"
+            "stays above SHP at every cache ratio; pinned/hybrid tiers "
+            "beat reactive LRU at equal DRAM budget"
         ),
     )
     for dataset in datasets:
@@ -52,15 +105,19 @@ def run(
         ]
         for label, strategy, ratio in series:
             layout = layout_for(dataset, strategy, ratio, scale, seed, dim)
-            row = [dataset, label]
-            for cache_ratio in cache_ratios:
-                engine = make_engine(
-                    layout, dim=dim, cache_ratio=cache_ratio,
-                    index_limit=index_limit,
-                )
-                report = serve_live(
-                    engine, dataset, scale, seed, max_queries=max_queries
-                )
-                row.append(round(report.throughput_qps()))
-            result.rows.append(row)
+            for mode in tier_modes:
+                row = [dataset, label, mode]
+                for cache_ratio in cache_ratios:
+                    options = tiered_engine_options(
+                        mode, cache_ratio, dataset, strategy, ratio,
+                        scale, seed, dim,
+                    )
+                    engine = make_engine(
+                        layout, dim=dim, index_limit=index_limit, **options
+                    )
+                    report = serve_live(
+                        engine, dataset, scale, seed, max_queries=max_queries
+                    )
+                    row.append(round(report.throughput_qps()))
+                result.rows.append(row)
     return result

@@ -3,13 +3,18 @@
 The cacheless scenario (near-data processing, §8.3): every key hits the
 SSD, so placement quality dominates.  Paper: a small r (0.2) already buys
 1.08–1.31×; a pure-DRAM system (not SSD-bound at all) is 9–26× faster.
+
+Extension: a ``pinned`` column serves the same cacheless engines with a
+small statistically pinned DRAM tier (no reactive cache, no warm-up) —
+the middle ground between all-SSD and pure DRAM that the offline tier
+planner makes possible.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from .common import layout_for, make_engine, serve_live
+from .common import layout_for, make_engine, serve_live, tier_plan_for
 from .report import ExperimentResult
 
 FIG13_DATASETS: Sequence[str] = (
@@ -30,9 +35,17 @@ def run(
     include_dram: bool = True,
     max_queries: Optional[int] = None,
     index_limit: Optional[int] = 5,
+    tier_ratio: float = 0.05,
 ) -> ExperimentResult:
-    """Regenerate Figure 13: cacheless qps per (dataset, r), plus pure DRAM."""
+    """Regenerate Figure 13: cacheless qps per (dataset, r), plus pure DRAM.
+
+    ``tier_ratio > 0`` adds a ``pinned`` column: the largest-r cacheless
+    engine re-served with a statistically pinned DRAM tier of that table
+    fraction (still no reactive cache).
+    """
     headers = ["dataset"] + [f"r{int(r * 100)}%" for r in ratios]
+    if tier_ratio > 0:
+        headers.append(f"pinned{int(tier_ratio * 100)}%")
     if include_dram:
         headers.append("pure_dram")
     result = ExperimentResult(
@@ -51,6 +64,26 @@ def run(
             layout = layout_for(dataset, strategy, ratio, scale, seed, dim)
             engine = make_engine(
                 layout, dim=dim, cache_ratio=0.0, index_limit=index_limit,
+            )
+            report = serve_live(
+                engine, dataset, scale, seed, max_queries=max_queries
+            )
+            row.append(round(report.throughput_qps()))
+        if tier_ratio > 0:
+            ratio = ratios[-1]
+            strategy = "none" if ratio == 0 else "maxembed"
+            layout = layout_for(dataset, strategy, ratio, scale, seed, dim)
+            plan = tier_plan_for(
+                dataset, strategy, ratio, tier_ratio, scale, seed, dim
+            )
+            engine = make_engine(
+                layout,
+                dim=dim,
+                cache_ratio=0.0,
+                index_limit=index_limit,
+                tier_mode="pinned",
+                tier_ratio=tier_ratio,
+                tier_plan=plan,
             )
             report = serve_live(
                 engine, dataset, scale, seed, max_queries=max_queries

@@ -51,6 +51,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ablation-partitioner": ablations.run_partitioner_refinement,
     "ablation-cache-policy": ablations.run_cache_policy,
     "ablation-admission": ablations.run_page_grain_admission,
+    "ablation-tiering": ablations.run_tiering,
     "extension-benefit": ablations.run_benefit_extension,
     "extension-partitioners": ablations.run_partitioner_comparison,
     "extension-page-size": ablations.run_page_size_sensitivity,

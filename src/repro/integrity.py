@@ -35,6 +35,7 @@ MAGIC_LAYOUT = "maxembed-layout"
 MAGIC_SHARDED_LAYOUT = "maxembed-sharded-layout"
 MAGIC_BUNDLE_CONFIG = "maxembed-bundle-config"
 MAGIC_BUNDLE_MANIFEST = "maxembed-bundle-manifest"
+MAGIC_TIER_PLAN = "maxembed-tier-plan"
 
 
 class UncheckedArtifactWarning(UserWarning):

@@ -31,6 +31,7 @@ from .config import (
 from .gateway import GatewayCore, ServeOutcome, WallClock
 from .http import HttpGateway, run_gateway
 from .loadgen import CoreLoadGenerator, HttpLoadGenerator, LoadReport
+from .prometheus import render_prometheus
 from .quota import TokenBucket
 
 __all__ = [
@@ -46,5 +47,6 @@ __all__ = [
     "TenantConfig",
     "TokenBucket",
     "WallClock",
+    "render_prometheus",
     "run_gateway",
 ]

@@ -723,8 +723,10 @@ class GatewayCore:
 
         ``service`` holds the gateway's own accounting (the invariant
         fields), ``open_loop`` the request-level report, ``serving`` the
-        engine-level trace report, and ``cluster`` per-shard device
-        counters when serving a sharded engine.
+        engine-level trace report (tier/cache hit counters included),
+        ``tier`` the pinned-DRAM-tier configuration when one is active,
+        and ``cluster`` per-shard device counters when serving a
+        sharded engine.
         """
         completed = len(self._results)
         shed_total = sum(self._shed.values())
@@ -768,6 +770,11 @@ class GatewayCore:
                 page_size=spec.page_size,
                 embedding_bytes=spec.embedding_bytes,
             ).as_dict()
+        tier_info = getattr(self.engine, "tier_info", None)
+        if callable(tier_info):
+            info = tier_info()
+            if info is not None:
+                data["tier"] = info
         shard_stats = getattr(self.engine, "shard_device_stats", None)
         if callable(shard_stats):
             stats = shard_stats()

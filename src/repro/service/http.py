@@ -14,7 +14,9 @@ POST      /query      serve one request (``{"keys": [...]}``) or a batch
                       lines, one per member, as each completes
 GET       /health     liveness + drain state + brownout level
 GET       /metrics    full gateway counter dump (service / open_loop /
-                      serving / cluster sections)
+                      serving / tier / cluster sections); with
+                      ``?format=prometheus`` the same counters render
+                      in Prometheus text exposition format
 POST      /drain      begin graceful drain (also triggered by SIGTERM)
 ========  ==========  ====================================================
 
@@ -67,11 +69,15 @@ def _json_bytes(payload: object) -> bytes:
 
 
 def _response(
-    status: int, body: bytes, *, chunked: bool = False
+    status: int,
+    body: bytes,
+    *,
+    chunked: bool = False,
+    content_type: str = "application/json",
 ) -> bytes:
     head = [
         f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-        "Content-Type: application/json",
+        f"Content-Type: {content_type}",
     ]
     if chunked:
         head.append("Transfer-Encoding: chunked")
@@ -186,8 +192,8 @@ class HttpGateway:
                     break
                 if request is None:
                     break
-                method, path, body = request
-                await self._dispatch(method, path, body, writer)
+                method, path, query, body = request
+                await self._dispatch(method, path, query, body, writer)
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
             pass
@@ -200,7 +206,7 @@ class HttpGateway:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, bytes]]:
+    ) -> Optional[Tuple[str, str, str, bytes]]:
         """Parse one request; None on a cleanly closed connection."""
         try:
             head = await reader.readuntil(b"\r\n\r\n")
@@ -223,12 +229,25 @@ class HttpGateway:
         if length > MAX_BODY_BYTES:
             raise HttpError(413, f"body of {length} bytes exceeds cap")
         body = await reader.readexactly(length) if length else b""
-        return method.upper(), target.split("?", 1)[0], body
+        path, _, query = target.partition("?")
+        return method.upper(), path, query, body
+
+    @staticmethod
+    def _query_params(query: str) -> Dict[str, str]:
+        """Parse ``a=b&c=d`` (last value wins; flags map to '')."""
+        params: Dict[str, str] = {}
+        for pair in query.split("&"):
+            if not pair:
+                continue
+            name, _, value = pair.partition("=")
+            params[name] = value
+        return params
 
     async def _dispatch(
         self,
         method: str,
         path: str,
+        query: str,
         body: bytes,
         writer: asyncio.StreamWriter,
     ) -> None:
@@ -246,9 +265,27 @@ class HttpGateway:
             elif path == "/metrics":
                 if method != "GET":
                     raise HttpError(405, "/metrics is GET-only")
-                writer.write(
-                    _response(200, _json_bytes(self.gateway.metrics()))
-                )
+                fmt = self._query_params(query).get("format", "json")
+                if fmt == "prometheus":
+                    from . import prometheus
+
+                    writer.write(
+                        _response(
+                            200,
+                            prometheus.render_prometheus(
+                                self.gateway.metrics()
+                            ).encode(),
+                            content_type=prometheus.content_type(),
+                        )
+                    )
+                elif fmt == "json":
+                    writer.write(
+                        _response(200, _json_bytes(self.gateway.metrics()))
+                    )
+                else:
+                    raise HttpError(
+                        400, f"unknown metrics format {fmt!r}"
+                    )
             elif path == "/drain":
                 if method != "POST":
                     raise HttpError(405, "/drain is POST-only")

@@ -1,0 +1,91 @@
+"""Prometheus text-format rendering of the gateway metrics tree.
+
+``GET /metrics?format=prometheus`` answers with the `text exposition
+format <https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+(version 0.0.4) instead of the JSON dump, so the gateway can sit behind
+a stock Prometheus scrape config with no exporter sidecar.
+
+The renderer is generic over the nested dict :meth:`GatewayCore.metrics`
+returns: numeric leaves become gauges named by their joined path
+(``maxembed_service_coalescer_batches``), booleans become 0/1 gauges,
+lists of numbers become one sample per element with an ``index`` label
+(per-shard counters), and dict leaves keyed by free-form names (tenants,
+shed reasons) become one sample per entry with a ``key`` label.  Strings
+and other non-numeric leaves are skipped — Prometheus has no string
+samples.  Output is sorted by metric name, so scrapes are diff-stable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Tuple
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+#: Dict sections whose keys are free-form identifiers (one sample per
+#: entry, keyed by label) rather than fixed schema fields.
+_LABELED_MAPS = ("tenant_tokens", "shed")
+
+
+def _sanitize(part: str) -> str:
+    return _NAME_OK.sub("_", part)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _walk(
+    prefix: List[str], node: object, out: List[Tuple[str, str, float]]
+) -> None:
+    """Flatten ``node`` into (name, labels, value) samples."""
+    name = "_".join(prefix)
+    if isinstance(node, bool):
+        out.append((name, "", 1.0 if node else 0.0))
+    elif _is_number(node):
+        out.append((name, "", float(node)))
+    elif isinstance(node, dict):
+        if prefix and prefix[-1] in _LABELED_MAPS:
+            for key, value in node.items():
+                if _is_number(value):
+                    out.append(
+                        (name, f'{{key="{_sanitize(str(key))}"}}', float(value))
+                    )
+            return
+        for key, value in node.items():
+            _walk(prefix + [_sanitize(str(key))], value, out)
+    elif isinstance(node, (list, tuple)):
+        for index, value in enumerate(node):
+            if _is_number(value) and not isinstance(value, bool):
+                out.append((name, f'{{index="{index}"}}', float(value)))
+    # strings / None / objects: no Prometheus representation — skipped.
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(
+    metrics: Dict[str, object], prefix: str = "maxembed"
+) -> str:
+    """Render a gateway metrics tree as Prometheus text format 0.0.4."""
+    samples: List[Tuple[str, str, float]] = []
+    _walk([_sanitize(prefix)], metrics, samples)
+    samples.sort(key=lambda s: (s[0], s[1]))
+    lines: List[str] = []
+    seen: set = set()
+    for name, labels, value in samples:
+        if name not in seen:
+            seen.add(name)
+            lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name}{labels} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def content_type() -> str:
+    """The exposition-format content type Prometheus scrapers expect."""
+    return "text/plain; version=0.0.4; charset=utf-8"
+
+
+__all__ = ["render_prometheus", "content_type"]

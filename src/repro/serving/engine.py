@@ -20,6 +20,7 @@ from ..faults import BreakerConfig, FaultPlan, FaultySsd
 from ..overload import DegradeLevel
 from ..placement import PageLayout, build_indexes
 from ..ssd import P5800X, Raid0Array, SimulatedSsd, SsdProfile
+from ..tiering import TIER_MODES, PinnedTier, TierPlan, plan_tier
 from ..types import EmbeddingSpec, Query, QueryTrace
 from .cost_model import CpuCostModel
 from .executor import Executor, PipelinedExecutor, SerialExecutor
@@ -79,6 +80,17 @@ class EngineConfig:
             (None = wait forever).  Ignored by single-shard engines.
         breaker: per-shard circuit-breaker configuration for cluster
             serving (None = no breaker).  Ignored by single engines.
+        tier_mode: DRAM tier strategy — ``"lru"`` (reactive cache only,
+            today's behavior), ``"pinned"`` (offline statistical hot set,
+            LRU off: the whole DRAM key budget is the pinned tier), or
+            ``"hybrid"`` (pinned tier plus an LRU front for the residue).
+        tier_ratio: pinned tier size as a fraction of the table (used to
+            derive a plan when ``tier_plan`` is not given; ignored in
+            ``lru`` mode).
+        tier_plan: precomputed :class:`~repro.tiering.TierPlan` (e.g. the
+            trace-hotness plan persisted next to the layout).  None in
+            ``pinned``/``hybrid`` mode derives a replica-count plan from
+            the layout at ``tier_ratio``.
     """
 
     spec: EmbeddingSpec = field(default_factory=EmbeddingSpec)
@@ -98,6 +110,9 @@ class EngineConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     shard_deadline_us: Optional[float] = None
     breaker: Optional[BreakerConfig] = None
+    tier_mode: str = "lru"
+    tier_ratio: float = 0.0
+    tier_plan: Optional[TierPlan] = None
 
     def __post_init__(self) -> None:
         if self.selector not in _SELECTORS:
@@ -129,6 +144,19 @@ class EngineConfig:
                 f"shard_deadline_us must be positive, got "
                 f"{self.shard_deadline_us}"
             )
+        if self.tier_mode not in TIER_MODES:
+            raise ServingError(
+                f"unknown tier_mode {self.tier_mode!r}; "
+                f"choose from {sorted(TIER_MODES)}"
+            )
+        if not 0.0 <= self.tier_ratio <= 1.0:
+            raise ServingError(
+                f"tier_ratio must be in [0, 1], got {self.tier_ratio}"
+            )
+        if self.tier_plan is not None and self.tier_mode == "lru":
+            raise ServingError(
+                "tier_plan requires tier_mode 'pinned' or 'hybrid'"
+            )
 
 
 class ServingEngine:
@@ -154,9 +182,18 @@ class ServingEngine:
         self.executor: Executor = _EXECUTORS[self.config.executor](
             self.config.cost_model
         )
+        self.tier_plan, self.tier = self._build_tier()
+        # Pinned mode devotes the whole DRAM key budget to the offline
+        # statistical tier; the reactive cache is off.  The engine splits
+        # queries against the tier *before* the cache, so pinned keys
+        # never churn the LRU in hybrid mode either.
+        cache_ratio = (
+            0.0 if self.config.tier_mode == "pinned"
+            else self.config.cache_ratio
+        )
         self.cache = EmbeddingCache(
             layout.num_keys,
-            self.config.cache_ratio,
+            cache_ratio,
             policy=self.config.cache_policy,
         )
         self.device = self._build_device()
@@ -175,6 +212,44 @@ class ServingEngine:
                 retry=self.config.retry,
                 mode=self.config.executor,
             )
+
+    def _build_tier(self):
+        """Resolve (tier_plan, runtime tier) from the configuration.
+
+        ``lru`` mode has no tier (None, None) and serves byte-identically
+        to the pre-tier engine.  ``pinned``/``hybrid`` use the supplied
+        plan — validated against the layout — or derive a replica-count
+        plan at ``tier_ratio``.  An empty plan (ratio 0) keeps the tier
+        off so the serving path stays bit-identical to untiered serving.
+        """
+        config = self.config
+        if config.tier_mode == "lru":
+            return None, None
+        plan = config.tier_plan
+        if plan is None:
+            plan = plan_tier(self.layout, config.tier_ratio)
+        elif plan.num_keys != self.layout.num_keys:
+            raise ServingError(
+                f"tier plan covers {plan.num_keys} keys; layout has "
+                f"{self.layout.num_keys}"
+            )
+        if plan.capacity == 0:
+            return plan, None
+        tier = plan.runtime()
+        self.selector.attach_tier(tier)
+        return plan, tier
+
+    def tier_info(self) -> "dict | None":
+        """Tier configuration and size (None when no tier is active)."""
+        if self.tier_plan is None:
+            return None
+        return {
+            "mode": self.config.tier_mode,
+            "source": self.tier_plan.source,
+            "pinned_keys": self.tier_plan.capacity,
+            "tier_ratio": self.tier_plan.tier_ratio,
+            "cache_capacity": self.cache.capacity,
+        }
 
     def _build_device(self):
         if self.config.raid_members > 1:
@@ -215,7 +290,8 @@ class ServingEngine:
         if degrade is not None and not degrade.is_noop:
             return self._serve_overloaded(query, start_us, degrade)
         keys = query.unique_keys()
-        hits, misses = self.cache.filter_hits(keys)
+        tier_hits, rest = self._tier_split(keys)
+        hits, misses = self.cache.filter_hits(rest)
         if not misses:
             finish = start_us + self.config.cost_model.query_base_us
             return QueryResult(
@@ -226,16 +302,16 @@ class ServingEngine:
                 valid_per_read=(),
                 start_us=start_us,
                 finish_us=finish,
+                tier_hits=tier_hits,
             )
         outcome = self.selector.select(misses)
         if self._recovery is not None:
             return self._serve_degradable(
-                outcome, len(keys), len(hits), misses, start_us
+                outcome, len(keys), len(hits), misses, start_us, tier_hits
             )
         execution = self.executor.execute(outcome, self.device, start_us)
         if self.config.page_grain_admission:
-            for page_id in outcome.pages:
-                self.cache.admit(self.invert.keys_of(page_id))
+            self._admit_pages(outcome.pages)
         else:
             self.cache.admit(misses)
         return QueryResult(
@@ -247,17 +323,38 @@ class ServingEngine:
             start_us=start_us,
             finish_us=execution.finish_us,
             execution=execution,
+            tier_hits=tier_hits,
         )
 
+    def _admit_pages(self, page_ids) -> None:
+        """Page-grain admission; pinned keys stay out of the LRU front."""
+        tier = self.tier
+        for page_id in page_ids:
+            keys = self.invert.keys_of(page_id)
+            if tier is not None:
+                keys = [k for k in keys if k not in tier]
+            self.cache.admit(keys)
+
+    def _tier_split(self, keys):
+        """(tier-1 hit count, residue) for ``keys``; no-op without a tier.
+
+        Runs *before* the cache so pinned keys never touch (or pollute)
+        the LRU front — the tier serves them from DRAM unconditionally.
+        """
+        tier = self.tier
+        if tier is None:
+            return 0, keys
+        tier_keys, rest = tier.split(keys)
+        return len(tier_keys), rest
+
     def _serve_degradable(
-        self, outcome, requested, hits, misses, start_us
+        self, outcome, requested, hits, misses, start_us, tier_hits=0
     ) -> QueryResult:
         """Fault-aware execution: retries, replica recovery, degradation."""
         degraded = self._recovery.execute(outcome, self.device, start_us)
         missing = set(degraded.missing_keys)
         if self.config.page_grain_admission:
-            for page_id in degraded.pages_ok:
-                self.cache.admit(self.invert.keys_of(page_id))
+            self._admit_pages(degraded.pages_ok)
         elif missing:
             self.cache.admit([k for k in misses if k not in missing])
         else:
@@ -276,12 +373,24 @@ class ServingEngine:
             failed_reads=degraded.failed_reads,
             recovered_keys=degraded.recovered_keys,
             missing_keys=len(missing),
+            tier_hits=tier_hits,
         )
 
     def _cache_only_result(
-        self, requested: int, hits: int, shed: int, start_us: float, level: int
+        self,
+        requested: int,
+        hits: int,
+        shed: int,
+        start_us: float,
+        level: int,
+        tier_hits: int = 0,
     ) -> QueryResult:
-        """A degraded result that never touched the device."""
+        """A degraded result that never touched the device.
+
+        With a pinned tier the cache-only rung serves tier-1 hits *and*
+        cache hits from DRAM — strictly better coverage than the LRU
+        alone at the same rung.
+        """
         return QueryResult(
             requested_keys=requested,
             cache_hits=hits,
@@ -293,6 +402,7 @@ class ServingEngine:
             missing_keys=shed,
             degrade_level=level,
             degrade_shed_keys=shed,
+            tier_hits=tier_hits,
         )
 
     def _serve_overloaded(
@@ -309,10 +419,11 @@ class ServingEngine:
         the fault path's losses.
         """
         keys = query.unique_keys()
-        hits, misses = self.cache.filter_hits(keys)
+        tier_hits, rest = self._tier_split(keys)
+        hits, misses = self.cache.filter_hits(rest)
         if not misses:
             result = self._cache_only_result(
-                len(keys), len(hits), 0, start_us, degrade.level
+                len(keys), len(hits), 0, start_us, degrade.level, tier_hits
             )
             return result
         if degrade.cache_only:
@@ -325,7 +436,12 @@ class ServingEngine:
         shed = len(misses) - len(served)
         if not served:
             return self._cache_only_result(
-                len(keys), len(hits), len(misses), start_us, degrade.level
+                len(keys),
+                len(hits),
+                len(misses),
+                start_us,
+                degrade.level,
+                tier_hits,
             )
         outcome = self.selector.select(served)
         covered = served
@@ -339,8 +455,7 @@ class ServingEngine:
             degraded = self._recovery.execute(outcome, self.device, start_us)
             missing = set(degraded.missing_keys)
             if self.config.page_grain_admission:
-                for page_id in degraded.pages_ok:
-                    self.cache.admit(self.invert.keys_of(page_id))
+                self._admit_pages(degraded.pages_ok)
             else:
                 self.cache.admit([k for k in covered if k not in missing])
             execution = degraded.execution
@@ -359,11 +474,11 @@ class ServingEngine:
                 missing_keys=shed + len(missing),
                 degrade_level=degrade.level,
                 degrade_shed_keys=shed,
+                tier_hits=tier_hits,
             )
         execution = self.executor.execute(outcome, self.device, start_us)
         if self.config.page_grain_admission:
-            for page_id in outcome.pages:
-                self.cache.admit(self.invert.keys_of(page_id))
+            self._admit_pages(outcome.pages)
         else:
             self.cache.admit(covered)
         return QueryResult(
@@ -378,6 +493,7 @@ class ServingEngine:
             missing_keys=shed,
             degrade_level=degrade.level,
             degrade_shed_keys=shed,
+            tier_hits=tier_hits,
         )
 
     # -- whole trace ----------------------------------------------------------------

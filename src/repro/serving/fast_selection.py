@@ -67,6 +67,7 @@ class FastSelectionOutcome:
         "_kbase",
         "_okeys",
         "sorted_keys",
+        "tier_hits",
         "_steps",
     )
 
@@ -78,6 +79,7 @@ class FastSelectionOutcome:
         kbase: int,
         okeys: List[int],
         sorted_keys: int,
+        tier_hits: int = 0,
     ) -> None:
         self._pages = pages
         self._masks = masks
@@ -85,6 +87,7 @@ class FastSelectionOutcome:
         self._kbase = kbase
         self._okeys = okeys  # shared process-order key list for the batch
         self.sorted_keys = sorted_keys
+        self.tier_hits = tier_hits
         self._steps: Optional[Tuple[SelectionStep, ...]] = None
 
     @property
@@ -205,7 +208,7 @@ class FastOnePassSelector(_FastSelectorBase):
     :class:`~repro.serving.selection.OnePassSelector`.
     """
 
-    def select(self, keys: Sequence[int]) -> SelectionOutcome:
+    def _select_impl(self, keys: Sequence[int]) -> SelectionOutcome:
         distinct, epoch = self._stamp_query(keys)
         counts = self._counts
         span = self._num_keys
@@ -249,7 +252,17 @@ class FastOnePassSelector(_FastSelectorBase):
     # -- batched path -------------------------------------------------------------
 
     def select_many(self, queries: Sequence[Sequence[int]]) -> List[object]:
-        """Batched selection; amortizes the replica-count sort via argsort."""
+        """Batched selection; amortizes the replica-count sort via argsort.
+
+        With a pinned tier attached each query is deduped and split into
+        tier-1 hits and SSD residue up front; only the residue enters the
+        width check and the packed-mask machinery, so tier hits cost no
+        sort, no candidate scan, and no page read — in the batched path
+        exactly as in the per-query path.
+        """
+        tier = self.tier
+        if tier is not None:
+            return self._select_many_tiered(queries, tier)
         results: List[object] = [None] * len(queries)
         narrow: List[Tuple[int, Sequence[int]]] = []
         for i, q in enumerate(queries):
@@ -263,6 +276,37 @@ class FastOnePassSelector(_FastSelectorBase):
                 part = narrow[at : at + chunk]
                 outcomes = self._select_batch([q for _, q in part])
                 for (i, _), outcome in zip(part, outcomes):
+                    results[i] = outcome
+        return results
+
+    def _select_many_tiered(
+        self, queries: Sequence[Sequence[int]], tier
+    ) -> List[object]:
+        from dataclasses import replace
+
+        results: List[object] = [None] * len(queries)
+        narrow: List[Tuple[int, List[int], int]] = []
+        for i, q in enumerate(queries):
+            distinct = self._check_keys(q)
+            hits, residue = tier.split(distinct)
+            if len(residue) > MASK_KEY_LIMIT:
+                outcome = self._select_impl(residue)
+                if hits:
+                    outcome = replace(outcome, tier_hits=len(hits))
+                results[i] = outcome
+            else:
+                narrow.append((i, residue, len(hits)))
+        if narrow:
+            chunk = self._chunk_size()
+            for at in range(0, len(narrow), chunk):
+                part = narrow[at : at + chunk]
+                # Residues are distinct already, so composite-key
+                # collisions are impossible; skip the dedupe rerun.
+                outcomes = self._select_batch(
+                    [q for _, q, _ in part], deduped=True
+                )
+                for (i, _, n_hits), outcome in zip(part, outcomes):
+                    outcome.tier_hits = n_hits
                     results[i] = outcome
         return results
 
@@ -390,7 +434,7 @@ class FastGreedySelector(_FastSelectorBase):
     :class:`~repro.serving.selection.GreedySetCoverSelector`.
     """
 
-    def select(self, keys: Sequence[int]) -> SelectionOutcome:
+    def _select_impl(self, keys: Sequence[int]) -> SelectionOutcome:
         distinct, epoch = self._stamp_query(keys)
         stamp = self._stamp
         entries = self._entries

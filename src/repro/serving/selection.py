@@ -13,11 +13,14 @@ match outcome-for-outcome.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set, Tuple
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import ServingError
 from ..placement import ForwardIndex, InvertIndex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..tiering import PinnedTier
 
 
 @dataclass(frozen=True)
@@ -49,6 +52,7 @@ class SelectionOutcome:
 
     steps: Tuple[SelectionStep, ...]
     sorted_keys: int  # keys put through the replica-count sort (0 = no sort)
+    tier_hits: int = 0  # keys served by the pinned DRAM tier (no pages)
 
     @property
     def pages(self) -> List[int]:
@@ -84,15 +88,41 @@ class SelectionOutcome:
 
 
 class Selector(ABC):
-    """Strategy interface for page selection."""
+    """Strategy interface for page selection.
+
+    ``select`` is a template method: with no tier attached it delegates
+    straight to the subclass ``_select_impl`` (byte-identical to the
+    pre-tier behavior); with a :class:`~repro.tiering.PinnedTier`
+    attached it first splits the query into tier-1 hits and SSD residue,
+    runs selection on the residue only, and reports the hit count on the
+    outcome — tier-1 keys never reach the sort, the candidate scan, or
+    a page read.
+    """
 
     def __init__(self, forward: ForwardIndex, invert: InvertIndex) -> None:
         self.forward = forward
         self.invert = invert
+        self.tier: "Optional[PinnedTier]" = None
 
-    @abstractmethod
+    def attach_tier(self, tier: "Optional[PinnedTier]") -> None:
+        """Attach (or detach, with None) a pinned DRAM tier."""
+        self.tier = tier
+
     def select(self, keys: Sequence[int]) -> SelectionOutcome:
         """Choose pages covering all ``keys`` (distinct, SSD-resident)."""
+        tier = self.tier
+        if tier is None:
+            return self._select_impl(keys)
+        distinct = self._check_keys(keys)
+        hits, residue = tier.split(distinct)
+        outcome = self._select_impl(residue)
+        if hits:
+            outcome = replace(outcome, tier_hits=len(hits))
+        return outcome
+
+    @abstractmethod
+    def _select_impl(self, keys: Sequence[int]) -> SelectionOutcome:
+        """Selection body; ``keys`` are tier-residue when a tier is set."""
 
     def select_many(
         self, queries: Sequence[Sequence[int]]
@@ -127,7 +157,7 @@ class GreedySetCoverSelector(Selector):
     re-walking every remaining key's page list.
     """
 
-    def select(self, keys: Sequence[int]) -> SelectionOutcome:
+    def _select_impl(self, keys: Sequence[int]) -> SelectionOutcome:
         remaining = set(self._check_keys(keys))
         pages_of = self.forward.pages_of
         key_set = self.invert.key_set
@@ -184,7 +214,7 @@ class OnePassSelector(Selector):
     set — ascending key order with no per-step ``sorted()`` call.
     """
 
-    def select(self, keys: Sequence[int]) -> SelectionOutcome:
+    def _select_impl(self, keys: Sequence[int]) -> SelectionOutcome:
         distinct = self._check_keys(keys)
         counts = self.forward.replica_counts()
         span = self.forward.num_keys

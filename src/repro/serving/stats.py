@@ -23,7 +23,9 @@ class QueryResult:
 
     Attributes:
         requested_keys: distinct keys in the request.
-        cache_hits: keys served from DRAM.
+        cache_hits: keys served from the DRAM cache.
+        tier_hits: keys served from the pinned DRAM tier (no selection,
+            no page reads; 0 when no tier is configured).
         ssd_keys: keys served from SSD reads.
         pages_read: SSD page reads issued.
         valid_per_read: newly covered queried keys per page read, in read
@@ -58,6 +60,7 @@ class QueryResult:
     missing_keys: int = 0
     degrade_level: int = 0
     degrade_shed_keys: int = 0
+    tier_hits: int = 0
 
     @property
     def latency_us(self) -> float:
@@ -94,6 +97,7 @@ class ServingReport:
     degraded_queries: int = 0
     total_degrade_shed_keys: int = 0
     degrade_level_hist: Dict[int, int] = field(default_factory=dict)
+    total_tier_hits: int = 0
 
     # -- throughput / latency ------------------------------------------------
 
@@ -161,10 +165,24 @@ class ServingReport:
         return points
 
     def cache_hit_rate(self) -> float:
-        """Fraction of requested keys served from DRAM."""
+        """Fraction of requested keys served from the DRAM cache."""
         if self.total_requested == 0:
             return 0.0
         return self.total_cache_hits / self.total_requested
+
+    def tier_hit_rate(self) -> float:
+        """Fraction of requested keys served from the pinned DRAM tier."""
+        if self.total_requested == 0:
+            return 0.0
+        return self.total_tier_hits / self.total_requested
+
+    def dram_hit_rate(self) -> float:
+        """Fraction of requested keys served from DRAM (tier + cache)."""
+        if self.total_requested == 0:
+            return 0.0
+        return (
+            self.total_tier_hits + self.total_cache_hits
+        ) / self.total_requested
 
     def cpu_fraction(self) -> float:
         """CPU (sort+selection) share of summed query latencies."""
@@ -216,6 +234,8 @@ class ServingReport:
             ),
             "mean_valid_per_read": round(self.mean_valid_per_read(), 4),
             "cache_hit_rate": round(self.cache_hit_rate(), 4),
+            "tier_hits": self.total_tier_hits,
+            "tier_hit_rate": round(self.tier_hit_rate(), 4),
             "pages_read": self.total_pages_read,
             "requested_keys": self.total_requested,
             "retries": self.total_retries,
@@ -277,6 +297,7 @@ def merge_shard_results(results: Sequence[QueryResult]) -> QueryResult:
         missing_keys=sum(r.missing_keys for r in results),
         degrade_level=max(r.degrade_level for r in results),
         degrade_shed_keys=sum(r.degrade_shed_keys for r in results),
+        tier_hits=sum(r.tier_hits for r in results),
     )
 
 
@@ -316,6 +337,7 @@ def aggregate_results(
         if r.missing_keys > 0:
             report.degraded_queries += 1
         report.total_degrade_shed_keys += r.degrade_shed_keys
+        report.total_tier_hits += r.tier_hits
         if r.degrade_level > 0:
             report.degrade_level_hist[r.degrade_level] = (
                 report.degrade_level_hist.get(r.degrade_level, 0) + 1

@@ -1,0 +1,51 @@
+"""Tier plan persistence with the standard integrity envelope."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from ..errors import ConfigError
+from ..integrity import MAGIC_TIER_PLAN, unwrap_document, wrap_document
+from .plan import TierPlan
+
+PathLike = Union[str, Path]
+
+
+def tier_plan_to_dict(plan: TierPlan) -> dict:
+    """JSON-ready mapping of a tier plan."""
+    return {
+        "num_keys": plan.num_keys,
+        "tier_ratio": plan.tier_ratio,
+        "pinned": list(plan.pinned),
+        "source": plan.source,
+    }
+
+
+def tier_plan_from_dict(data: dict) -> TierPlan:
+    """Rebuild a tier plan from its mapping form."""
+    try:
+        return TierPlan(
+            num_keys=int(data["num_keys"]),
+            tier_ratio=float(data["tier_ratio"]),
+            pinned=tuple(int(k) for k in data["pinned"]),
+            source=str(data.get("source", "replicas")),
+        )
+    except KeyError as exc:
+        raise ConfigError(f"tier plan document missing field {exc}")
+
+
+def save_tier_plan(plan: TierPlan, path: PathLike) -> None:
+    """Write ``plan`` to ``path`` wrapped in a checksummed envelope."""
+    document = wrap_document(MAGIC_TIER_PLAN, tier_plan_to_dict(plan))
+    Path(path).write_text(json.dumps(document, indent=1))
+
+
+def load_tier_plan(path: PathLike) -> TierPlan:
+    """Load and verify a tier plan written by :func:`save_tier_plan`."""
+    document = json.loads(Path(path).read_text())
+    payload = unwrap_document(
+        MAGIC_TIER_PLAN, document, source=f"tier plan {Path(path).name}"
+    )
+    return tier_plan_from_dict(payload)

@@ -140,10 +140,16 @@ class TestFig12:
             max_queries=150,
             **SMALL,
         )
-        shp = result.rows[0]
-        me = result.rows[1]
-        assert me[2] > shp[2]
+        rows = {(row[1], row[2]): row for row in result.rows}
+        shp = rows[("shp", "lru")]
+        me = rows[("me_r80", "lru")]
         assert me[3] > shp[3]
+        assert me[4] > shp[4]
+        # The hybrid tier gets the same DRAM budget; it must not trail
+        # the reactive baseline by more than noise at either budget.
+        hybrid = rows[("me_r80", "hybrid")]
+        assert hybrid[3] >= me[3] * 0.9
+        assert hybrid[4] >= me[4] * 0.9
 
 
 class TestFig13:
@@ -155,9 +161,13 @@ class TestFig13:
             **SMALL,
         )
         row = result.rows[0]
-        r0, r80, dram = row[1], row[2], row[3]
+        r0, r80, pinned, dram = row[1], row[2], row[3], row[4]
         assert r80 > r0
         assert dram > r80  # pure DRAM dominates any SSD configuration
+        # A small pinned tier lifts the cacheless engine, and stays
+        # below the all-DRAM ceiling.
+        assert pinned >= r80
+        assert pinned < dram
 
 
 class TestFig14:

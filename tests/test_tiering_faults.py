@@ -1,0 +1,143 @@
+"""Tiering x faults interplay: the pinned DRAM tier under device errors.
+
+Tier-1 keys never touch the SSD, so they must be structurally immune to
+injected read faults: a fully pinned query issues no reads, suffers no
+retries, and can never lose a key.  For mixed queries, the fault-path
+loss accounting (retries, recoveries, missing keys) must apply only to
+the residue that actually reached the device, and the usual
+key-conservation invariant must hold with the tier as a third serving
+source alongside the cache and the SSD.
+"""
+
+import os
+
+import pytest
+
+from repro import (
+    EngineConfig,
+    FaultPlan,
+    PageLayout,
+    Query,
+    ServingEngine,
+)
+from repro.serving import RetryPolicy
+from repro.tiering import TierPlan
+
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "0"))
+
+
+@pytest.fixture
+def hot_cold_layout():
+    """Keys 0/1/4/5 carry a replica (recoverable); 2/3/6/7 are cold."""
+    return PageLayout(
+        num_keys=8,
+        capacity=4,
+        pages=[(0, 1, 2, 3), (4, 5, 6, 7), (0, 4, 1, 5)],
+    )
+
+
+@pytest.fixture
+def stream():
+    return [Query((k % 8, (k + 1) % 8, (k + 5) % 8)) for k in range(300)]
+
+
+def tiered_faulty_engine(layout, pinned=(0, 1), seed=FAULT_SEED):
+    plan = TierPlan(
+        num_keys=8, tier_ratio=0.25, pinned=tuple(pinned), source="explicit"
+    )
+    return ServingEngine(
+        layout,
+        EngineConfig(
+            cache_ratio=0.0,
+            threads=1,
+            tier_mode="pinned",
+            tier_plan=plan,
+            fault_plan=FaultPlan(seed=seed, read_error_rate=0.5),
+            retry=RetryPolicy(max_retries=1),
+        ),
+    )
+
+
+class TestTierFaultImmunity:
+    def test_fully_pinned_query_never_touches_device(self, hot_cold_layout):
+        engine = tiered_faulty_engine(hot_cold_layout)
+        for _ in range(20):  # exhaust plenty of fault-plan draws
+            result = engine.serve_query(Query((0, 1, 0)))
+            assert result.tier_hits == 2
+            assert result.pages_read == 0
+            assert result.retries == 0
+            assert result.failed_reads == 0
+            assert result.missing_keys == 0
+
+    def test_losses_confined_to_device_residue(
+        self, hot_cold_layout, stream
+    ):
+        engine = tiered_faulty_engine(hot_cold_layout)
+        for i, query in enumerate(stream):
+            result = engine.serve_query(query, start_us=float(i))
+            residue = result.requested_keys - result.tier_hits
+            assert 0 <= result.tier_hits <= result.requested_keys
+            assert result.missing_keys <= residue
+            assert result.recovered_keys <= residue - result.missing_keys
+            # Conservation: every distinct key lands in exactly one of
+            # tier / cache / SSD-served / missing.
+            assert (
+                result.tier_hits
+                + result.cache_hits
+                + result.ssd_keys
+                + result.missing_keys
+                == result.requested_keys
+            )
+
+    def test_faults_still_fire_on_residue(self, hot_cold_layout, stream):
+        engine = tiered_faulty_engine(hot_cold_layout)
+        report = engine.serve_trace(stream)
+        assert report.total_tier_hits > 0
+        # At a 50% error rate the unpinned keys must see device trouble.
+        assert report.total_retries > 0
+        assert report.total_recovered_keys + report.total_missing_keys > 0
+
+    def test_tier_shrinks_fault_surface(self, hot_cold_layout, stream):
+        faulted = ServingEngine(
+            hot_cold_layout,
+            EngineConfig(
+                cache_ratio=0.0,
+                threads=1,
+                fault_plan=FaultPlan(seed=FAULT_SEED, read_error_rate=0.5),
+                retry=RetryPolicy(max_retries=1),
+            ),
+        ).serve_trace(stream)
+        tiered = tiered_faulty_engine(hot_cold_layout).serve_trace(stream)
+        # Pinned keys remove page reads, so fewer reads can fail at all.
+        assert tiered.total_pages_read < faulted.total_pages_read
+
+    @pytest.mark.parametrize("seed", [FAULT_SEED, FAULT_SEED + 1, FAULT_SEED + 2])
+    def test_deterministic_per_seed(self, hot_cold_layout, stream, seed):
+        first = tiered_faulty_engine(hot_cold_layout, seed=seed).serve_trace(
+            stream
+        )
+        second = tiered_faulty_engine(hot_cold_layout, seed=seed).serve_trace(
+            stream
+        )
+        assert first.latencies_us == second.latencies_us
+        assert first.total_retries == second.total_retries
+        assert first.total_tier_hits == second.total_tier_hits
+        assert first.total_missing_keys == second.total_missing_keys
+
+    def test_fault_free_tiered_engine_has_clean_counters(
+        self, hot_cold_layout, stream
+    ):
+        plan = TierPlan(
+            num_keys=8, tier_ratio=0.25, pinned=(0, 1), source="explicit"
+        )
+        engine = ServingEngine(
+            hot_cold_layout,
+            EngineConfig(
+                cache_ratio=0.0, threads=1, tier_mode="pinned", tier_plan=plan
+            ),
+        )
+        report = engine.serve_trace(stream)
+        assert report.total_tier_hits > 0
+        assert report.total_retries == 0
+        assert report.total_failed_reads == 0
+        assert report.total_missing_keys == 0
