@@ -1,0 +1,107 @@
+"""Self-healing refresh bench: recover the drift gap, drop nothing.
+
+Replays the refresh experiment's segment protocol — drift ramps to
+100 % and holds while a :class:`~repro.refresh.RefreshDaemon` mounted on
+a live :class:`~repro.core.LayoutManager` watches, tier-replans,
+rebuilds, and hot-swaps — and gates the outcome:
+
+* on the final (fully drifted) segment the daemon recovers at least
+  ``REPRO_BENCH_MIN_REFRESH_RECOVERY`` (default 80 %) of the
+  effective-bandwidth gap between the never-refreshed floor and the
+  oracle-rebuild ceiling;
+* **zero** queries served through the manager lose keys — hot swaps
+  never drop or truncate live traffic;
+* no swap is ever rolled back in the fault-free run, and the daemon
+  ends the run healthy (``watching``), not degraded.
+
+Emits machine-readable ``benchmarks/results/refresh.json`` plus the
+rendered table at ``benchmarks/results/refresh.txt``.
+
+Run standalone with ``python benchmarks/bench_refresh.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from conftest import RESULTS_DIR, bench_max_queries, bench_scale, publish
+
+from repro.experiments import refresh as refresh_experiment
+
+BENCH_SEED = int(os.environ.get("REPRO_REFRESH_SEED", "0"))
+
+
+def min_refresh_recovery() -> float:
+    return float(os.environ.get("REPRO_BENCH_MIN_REFRESH_RECOVERY", "0.80"))
+
+
+def run_refresh_bench(scale: str) -> dict:
+    document = refresh_experiment.run_refresh_scenarios(
+        scale=scale,
+        seed=BENCH_SEED,
+        drift_seed=BENCH_SEED + 1,
+        max_queries=bench_max_queries(),
+    )
+    document["bench"] = "refresh"
+    document["min_recovery"] = min_refresh_recovery()
+    return document
+
+
+def publish_json(document: dict) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / "refresh.json"
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    return path
+
+
+def test_refresh_recovers_drift_gap(scale, max_queries):
+    document = refresh_experiment.run_refresh_scenarios(
+        scale=scale,
+        seed=BENCH_SEED,
+        drift_seed=BENCH_SEED + 1,
+        max_queries=max_queries,
+    )
+    document["bench"] = "refresh"
+    document["min_recovery"] = min_refresh_recovery()
+    path = publish_json(document)
+    publish(
+        refresh_experiment.run(
+            scale=scale,
+            seed=BENCH_SEED,
+            drift_seed=BENCH_SEED + 1,
+            max_queries=max_queries,
+        )
+    )
+    summary = document["summary"]
+    print(
+        f"refresh bench ({scale}) -> {path}\n"
+        f"  recovery {summary['recovery']:.1%} "
+        f"(floor {document['min_recovery']:.0%}), "
+        f"swaps {summary['swaps']}, tier replans "
+        f"{summary['tier_replans']}, dropped {summary['dropped_queries']}"
+    )
+    assert summary["dropped_queries"] == 0, (
+        f"hot swaps dropped keys from {summary['dropped_queries']} live "
+        f"queries"
+    )
+    assert summary["recovery"] >= document["min_recovery"], (
+        f"refresh daemon recovered only {summary['recovery']:.1%} of the "
+        f"stale->oracle bandwidth gap (need "
+        f"{document['min_recovery']:.0%})"
+    )
+    assert summary["rollbacks"] == 0, "fault-free run rolled a swap back"
+    assert summary["state"] == "watching", (
+        f"daemon ended the run {summary['state']!r}"
+    )
+    # The repair ladder actually climbed: at least one cheap tier
+    # re-plan and at least one full rebuild+swap happened.
+    assert summary["tier_replans"] >= 1
+    assert summary["swaps"] >= 1
+
+
+if __name__ == "__main__":
+    document = run_refresh_bench(bench_scale())
+    print(json.dumps(document, indent=2))
+    publish_json(document)

@@ -30,7 +30,13 @@ from .cluster import (
     make_planner,
     save_sharded_layout,
 )
-from .core import MaxEmbedConfig, MaxEmbedStore, build_offline_layout
+from .core import (
+    LayoutManager,
+    LayoutVersion,
+    MaxEmbedConfig,
+    MaxEmbedStore,
+    build_offline_layout,
+)
 from .errors import (
     CacheError,
     ConfigError,
@@ -40,6 +46,7 @@ from .errors import (
     HypergraphError,
     PartitionError,
     PlacementError,
+    RefreshError,
     ReproError,
     ServingError,
     ShardUnavailableError,
@@ -52,6 +59,13 @@ from .faults import (
     FaultInjector,
     FaultPlan,
     FaultySsd,
+    RefreshFaultPlan,
+)
+from .refresh import (
+    DriftWatcher,
+    RefreshConfig,
+    RefreshDaemon,
+    TrafficWindow,
 )
 from .hypergraph import Hypergraph, build_hypergraph, build_weighted_hypergraph
 from .overload import (
@@ -124,6 +138,8 @@ __all__ = [
     "MaxEmbedStore",
     "MaxEmbedConfig",
     "build_offline_layout",
+    "LayoutManager",
+    "LayoutVersion",
     # cluster
     "SHARD_STRATEGIES",
     "ShardPlan",
@@ -195,6 +211,12 @@ __all__ = [
     "FaultySsd",
     "BreakerConfig",
     "CircuitBreaker",
+    "RefreshFaultPlan",
+    # refresh
+    "RefreshConfig",
+    "RefreshDaemon",
+    "DriftWatcher",
+    "TrafficWindow",
     # ssd
     "SsdProfile",
     "SimulatedSsd",
@@ -224,6 +246,7 @@ __all__ = [
     "StorageError",
     "CacheError",
     "ServingError",
+    "RefreshError",
     "WorkloadError",
     "ExperimentError",
     "DeviceFault",

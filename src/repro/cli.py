@@ -286,6 +286,53 @@ def _add_serve(subparsers) -> None:
         help="gateway mode: wall microseconds slept per simulated "
         "microsecond when pacing",
     )
+    p.add_argument(
+        "--refresh",
+        action="store_true",
+        help="gateway mode: mount the self-healing refresh daemon — "
+        "watch drift on live traffic, rebuild stale placements, and "
+        "hot-swap them under load (control it via GET/POST /refresh)",
+    )
+    p.add_argument(
+        "--refresh-interval",
+        type=float,
+        default=5.0,
+        help="seconds between drift checks (0 = no background thread; "
+        "repairs only run when POST /refresh triggers a step)",
+    )
+    p.add_argument(
+        "--refresh-window",
+        type=int,
+        default=2048,
+        help="live queries kept in the drift-detection window",
+    )
+    p.add_argument(
+        "--refresh-trigger-share",
+        type=float,
+        default=0.92,
+        help="drift fires when the active layout's share-of-best on the "
+        "probe window falls below this",
+    )
+    p.add_argument(
+        "--refresh-drop-fraction",
+        type=float,
+        default=0.15,
+        help="drift also fires when effective bandwidth drops by this "
+        "fraction below the installed baseline",
+    )
+    p.add_argument(
+        "--refresh-retries",
+        type=int,
+        default=3,
+        help="rebuild/swap attempts per repair before it is abandoned",
+    )
+    p.add_argument(
+        "--refresh-margin",
+        type=float,
+        default=1.0,
+        help="shadow-score gate: a candidate must score at least this "
+        "multiple of the active layout's bandwidth to swap in",
+    )
 
 
 def _add_loadgen(subparsers) -> None:
@@ -612,6 +659,42 @@ def _build_serve_engine(args):
     )
 
 
+def _refresh_daemon(args, engine):
+    """(engine, daemon) for `serve --listen --refresh`.
+
+    Single-engine serving is re-mounted behind a
+    :class:`~repro.core.LayoutManager` so the daemon's hot swaps are
+    what the gateway serves through; a cluster engine already swaps in
+    place and is mounted directly.
+    """
+    if not getattr(args, "refresh", False):
+        return engine, None
+    from .cluster import ClusterEngine
+    from .core import LayoutManager
+    from .refresh import RefreshConfig, RefreshDaemon
+
+    refresh_config = RefreshConfig(
+        window_size=args.refresh_window,
+        interval_s=(
+            args.refresh_interval if args.refresh_interval > 0 else None
+        ),
+        trigger_share=args.refresh_trigger_share,
+        clear_share=max(args.refresh_trigger_share, 0.97),
+        drop_fraction=args.refresh_drop_fraction,
+        max_retries=args.refresh_retries,
+        shadow_margin=args.refresh_margin,
+    )
+    build_config = MaxEmbedConfig(spec=EmbeddingSpec(dim=args.dim))
+    if isinstance(engine, ClusterEngine):
+        target = engine
+    else:
+        engine = target = LayoutManager(engine.layout, engine.config)
+    daemon = RefreshDaemon(
+        target, refresh_config, build_config=build_config
+    )
+    return engine, daemon
+
+
 def _cmd_serve_gateway(args) -> int:
     """`maxembed serve --listen`: the live HTTP gateway."""
     import asyncio
@@ -620,19 +703,26 @@ def _cmd_serve_gateway(args) -> int:
 
     host, port = _parse_address(args.listen)
     engine = _build_serve_engine(args)
+    engine, refresh = _refresh_daemon(args, engine)
     config = _service_config(args)
 
     def ready(server) -> None:
+        refresh_note = ", GET/POST /refresh" if refresh is not None else ""
         print(
             f"gateway listening on http://{server.host}:{server.bound_port} "
-            f"(POST /query, GET /health, GET /metrics, POST /drain; "
-            f"SIGTERM drains gracefully)",
+            f"(POST /query, GET /health, GET /metrics{refresh_note}, "
+            f"POST /drain; SIGTERM drains gracefully)",
             flush=True,
         )
 
     asyncio.run(
         run_gateway(
-            engine, config, host=host, port=port, ready_callback=ready
+            engine,
+            config,
+            host=host,
+            port=port,
+            ready_callback=ready,
+            refresh=refresh,
         )
     )
     print("gateway drained cleanly")

@@ -49,7 +49,7 @@ from __future__ import annotations
 import heapq
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import ServingError, ShardUnavailableError
 from ..faults import CircuitBreaker
@@ -112,6 +112,9 @@ class ClusterEngine:
             else None
         )
         self._closed = False
+        self.swap_counts: List[int] = [0] * self.num_shards
+        self.swap_rollbacks = 0
+        self.swap_events: List[dict] = []
 
     @property
     def num_shards(self) -> int:
@@ -169,12 +172,86 @@ class ClusterEngine:
                 f"owns {expected}"
             )
         replacement = ServingEngine(layout, self.config)
+        displaced = self.engines[shard]
         if keep_cache:
-            replacement.cache = self.engines[shard].cache
+            replacement.cache = displaced.cache
         self.engines[shard] = replacement
         if self.breakers is not None:
             self.breakers[shard] = CircuitBreaker(self.config.breaker)
+        displaced.close()
+        self.swap_counts[shard] += 1
+        self.swap_events.append(
+            {"shard": shard, "keep_cache": keep_cache, "rolling": False}
+        )
         return replacement
+
+    def swap_shards(
+        self,
+        layouts: Mapping[int, PageLayout],
+        keep_cache: bool = True,
+        after_install: "Optional[Callable[[int], None]]" = None,
+    ) -> Dict[int, ServingEngine]:
+        """Rolling multi-shard swap: all the given shards, or none of them.
+
+        Shards are swapped one at a time (ascending id) so the cluster
+        keeps serving throughout — at every instant each shard has
+        exactly one fully built engine installed.  If any step fails
+        (an invalid layout, or ``after_install`` raising — the fault
+        hook the chaos suite uses to kill a swap mid-flight), every
+        shard already swapped is **rolled back** to its original engine
+        and breaker before the error propagates, so a failed rolling
+        deploy never leaves the cluster partially swapped.  Displaced
+        engines are closed only after the whole roll commits; on
+        rollback the abandoned replacements are closed instead.
+        """
+        for shard in layouts:
+            if not 0 <= shard < self.num_shards:
+                raise ServingError(
+                    f"shard {shard} out of range [0, {self.num_shards})"
+                )
+        originals: Dict[int, ServingEngine] = {}
+        original_breakers: Dict[int, CircuitBreaker] = {}
+        installed: Dict[int, ServingEngine] = {}
+        try:
+            for shard in sorted(layouts):
+                layout = layouts[shard]
+                expected = len(self.plan.shard_keys(shard))
+                if layout.num_keys != expected:
+                    raise ServingError(
+                        f"new layout covers {layout.num_keys} keys, shard "
+                        f"{shard} owns {expected}"
+                    )
+                replacement = ServingEngine(layout, self.config)
+                displaced = self.engines[shard]
+                if keep_cache:
+                    replacement.cache = displaced.cache
+                originals[shard] = displaced
+                self.engines[shard] = replacement
+                installed[shard] = replacement
+                if self.breakers is not None:
+                    original_breakers[shard] = self.breakers[shard]
+                    self.breakers[shard] = CircuitBreaker(self.config.breaker)
+                if after_install is not None:
+                    after_install(shard)
+        except Exception:
+            for shard, engine in originals.items():
+                self.engines[shard] = engine
+                if self.breakers is not None:
+                    self.breakers[shard] = original_breakers[shard]
+            for engine in installed.values():
+                engine.close()
+            self.swap_rollbacks += 1
+            self.swap_events.append(
+                {"shards": sorted(layouts), "rolled_back": True}
+            )
+            raise
+        for shard, engine in originals.items():
+            engine.close()
+            self.swap_counts[shard] += 1
+            self.swap_events.append(
+                {"shard": shard, "keep_cache": keep_cache, "rolling": True}
+            )
+        return installed
 
     # -- scatter / gather -------------------------------------------------------
 
@@ -481,6 +558,8 @@ class ClusterEngine:
             shard_shed=shard_shed,
             breaker_states=breaker_states,
             breaker_transitions=breaker_transitions,
+            shard_swaps=list(self.swap_counts),
+            swap_rollbacks=self.swap_rollbacks,
         )
 
     # -- introspection -----------------------------------------------------------

@@ -54,6 +54,10 @@ class ClusterReport:
         breaker_states: final breaker state per shard ([] = no breakers).
         breaker_transitions: full per-shard breaker transition history
             (lists of :class:`~repro.faults.BreakerTransition`).
+        shard_swaps: cumulative hot layout swaps each shard has taken
+            (engine lifetime, not per trace; [] = pre-swap report).
+        swap_rollbacks: rolling multi-shard swaps that failed and were
+            rolled back over the engine's lifetime.
     """
 
     report: ServingReport
@@ -75,6 +79,8 @@ class ClusterReport:
     shard_shed: List[int] = field(default_factory=list)
     breaker_states: List[str] = field(default_factory=list)
     breaker_transitions: List[List] = field(default_factory=list)
+    shard_swaps: List[int] = field(default_factory=list)
+    swap_rollbacks: int = 0
 
     # -- cluster-level convenience -------------------------------------------
 
@@ -184,4 +190,6 @@ class ClusterReport:
             "degraded_mode_queries": self.report.degraded_mode_queries(),
             "degrade_shed_keys": self.report.total_degrade_shed_keys,
             "breaker_transitions": self.total_breaker_transitions(),
+            "shard_swaps": sum(self.shard_swaps),
+            "swap_rollbacks": self.swap_rollbacks,
         }

@@ -94,6 +94,19 @@ class ShardUnavailableError(ServingError):
         self.shard = shard
 
 
+class RefreshError(ServingError):
+    """A refresh-daemon repair step failed (rebuild, staging, or swap).
+
+    Attributes:
+        stage: where the failure happened — ``"rebuild"``, ``"stage"``
+            (artifact staging / CRC validation), or ``"swap"``.
+    """
+
+    def __init__(self, message: str, *, stage: str = "rebuild") -> None:
+        super().__init__(message)
+        self.stage = stage
+
+
 class WorkloadError(ReproError):
     """A trace or synthetic workload specification is invalid."""
 

@@ -13,6 +13,7 @@ from ..errors import ExperimentError
 from . import (
     ablations,
     drift,
+    refresh,
     fig03_motivation,
     fig08_effective_bandwidth,
     fig_cluster_scaling,
@@ -59,6 +60,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "extension-history": ablations.run_history_sensitivity,
     "cluster-scaling": fig_cluster_scaling.run,
     "drift": drift.run,
+    "refresh": refresh.run,
 }
 
 

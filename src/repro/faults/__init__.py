@@ -28,9 +28,11 @@ from .breaker import (
 from .device import FaultySsd
 from .injector import FaultDecision, FaultInjector
 from .plan import FaultPlan
+from .refresh import RefreshFaultPlan
 
 __all__ = [
     "FaultPlan",
+    "RefreshFaultPlan",
     "FaultInjector",
     "FaultDecision",
     "FaultySsd",

@@ -1,0 +1,48 @@
+"""Self-healing re-placement: drift watch, repair ladder, hot swap.
+
+The ``repro.refresh`` package closes the operational loop the drift
+experiment opened: placements go stale under live traffic, so a
+:class:`RefreshDaemon` watches per-target drift on a sliding traffic
+window, escalates a repair ladder (tier re-plan → shard rebuild → full
+re-placement), and hot-swaps repaired layouts under live traffic with
+CRC-validated staging, a shadow-score gate, bounded retries, rollback
+on swap failure, and a degraded-but-serving watchdog.
+
+Usable standalone (mount on a :class:`~repro.core.deploy.LayoutManager`
+or :class:`~repro.cluster.ClusterEngine` and call ``step()`` / run the
+thread) or through the service gateway (``refresh=`` parameter, the
+``/refresh`` endpoints, and ``--refresh-*`` CLI flags).
+"""
+
+from .config import RefreshConfig
+from .daemon import (
+    RUNG_HEALTHY,
+    RUNG_REBUILT,
+    RUNG_REPLACED,
+    RUNG_TIER,
+    STATE_DEGRADED,
+    STATE_PAUSED,
+    STATE_WATCHING,
+    RefreshDaemon,
+)
+from .drift import DRIFTING, HEALTHY, DriftWatcher, TrafficWindow
+from .rebuild import ShadowScore, shadow_score, stage_layout
+
+__all__ = [
+    "RefreshConfig",
+    "RefreshDaemon",
+    "DriftWatcher",
+    "TrafficWindow",
+    "ShadowScore",
+    "shadow_score",
+    "stage_layout",
+    "HEALTHY",
+    "DRIFTING",
+    "STATE_WATCHING",
+    "STATE_PAUSED",
+    "STATE_DEGRADED",
+    "RUNG_HEALTHY",
+    "RUNG_TIER",
+    "RUNG_REBUILT",
+    "RUNG_REPLACED",
+]

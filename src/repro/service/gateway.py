@@ -171,10 +171,19 @@ class GatewayCore:
     Args:
         engine: a :class:`~repro.serving.ServingEngine` or
             :class:`~repro.cluster.ClusterEngine` (anything with
-            ``serve_query(query, start_us, degrade)`` and a ``config``).
+            ``serve_query(query, start_us, degrade)`` and a ``config``);
+            a :class:`~repro.core.deploy.LayoutManager` also qualifies —
+            mount one when the refresh daemon should hot-swap layouts
+            under the gateway.
         config: service knobs; defaults to coalescing on, no admission
             bound, no brownout.
         clock: microsecond clock (tests inject deterministic ones).
+        refresh: optional :class:`~repro.refresh.RefreshDaemon` mounted
+            on this gateway's engine.  The gateway feeds every served
+            query into the daemon's drift window, starts/stops its
+            thread with its own lifecycle, pauses repairs while
+            draining (a swap must never race shutdown), and surfaces
+            ``daemon.status()`` under ``/metrics`` and ``/refresh``.
     """
 
     def __init__(
@@ -182,8 +191,10 @@ class GatewayCore:
         engine,
         config: "ServiceConfig | None" = None,
         clock: "WallClock | None" = None,
+        refresh=None,
     ) -> None:
         self.engine = engine
+        self.refresh = refresh
         self.config = config or ServiceConfig()
         self.clock = clock or WallClock()
         self.ladder = self.config.ladder or default_ladder()
@@ -260,6 +271,9 @@ class GatewayCore:
         )
         self._started_at_us = self.clock.now_us()
         self._started = True
+        if self.refresh is not None:
+            self.refresh.resume()
+            self.refresh.start()
 
     async def stop(self) -> None:
         """Graceful drain: finish in-flight work, shed the waiting room.
@@ -274,6 +288,11 @@ class GatewayCore:
         if self._stopped:
             return
         self._draining = True
+        if self.refresh is not None:
+            # Repairs pause before the drain begins: a hot swap must
+            # never race in-flight batches that are being run down.
+            self.refresh.pause()
+            self.refresh.stop()
         if self._wake is not None:
             self._wake.set()
         for entry in self.queue.drain():
@@ -618,6 +637,12 @@ class GatewayCore:
         if len(self._batch_log) < BATCH_LOG_LIMIT:
             self._batch_log.append((tenant, len(batch)))
         self._query_results.extend(served.query_results)
+        if self.refresh is not None:
+            # Completed requests are the drift evidence: the daemon's
+            # window sees exactly what the engine actually served.
+            self.refresh.observe_many(
+                entry.query for entry, _, _ in served.members
+            )
         depth = self.queue.depth
         for (entry, served_keys, missing), result in zip(
             served.members, self._member_results(served)
@@ -725,8 +750,9 @@ class GatewayCore:
         fields), ``open_loop`` the request-level report, ``serving`` the
         engine-level trace report (tier/cache hit counters included),
         ``tier`` the pinned-DRAM-tier configuration when one is active,
-        and ``cluster`` per-shard device counters when serving a
-        sharded engine.
+        ``refresh`` the mounted refresh daemon's state and counters
+        (when one is mounted), and ``cluster`` per-shard device
+        counters when serving a sharded engine.
         """
         completed = len(self._results)
         shed_total = sum(self._shed.values())
@@ -775,6 +801,8 @@ class GatewayCore:
             info = tier_info()
             if info is not None:
                 data["tier"] = info
+        if self.refresh is not None:
+            data["refresh"] = self.refresh.status()
         shard_stats = getattr(self.engine, "shard_device_stats", None)
         if callable(shard_stats):
             stats = shard_stats()

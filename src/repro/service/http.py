@@ -14,9 +14,14 @@ POST      /query      serve one request (``{"keys": [...]}``) or a batch
                       lines, one per member, as each completes
 GET       /health     liveness + drain state + brownout level
 GET       /metrics    full gateway counter dump (service / open_loop /
-                      serving / tier / cluster sections); with
+                      serving / tier / refresh / cluster sections); with
                       ``?format=prometheus`` the same counters render
                       in Prometheus text exposition format
+GET       /refresh    mounted refresh daemon's state + counters (404
+                      when no daemon is mounted)
+POST      /refresh    trigger one watch→repair iteration now (off the
+                      event loop); body ``{"pause": true|false}``
+                      instead suspends/resumes repairs
 POST      /drain      begin graceful drain (also triggered by SIGTERM)
 ========  ==========  ====================================================
 
@@ -286,6 +291,8 @@ class HttpGateway:
                     raise HttpError(
                         400, f"unknown metrics format {fmt!r}"
                     )
+            elif path == "/refresh":
+                await self._handle_refresh(method, body, writer)
             elif path == "/drain":
                 if method != "POST":
                     raise HttpError(405, "/drain is POST-only")
@@ -302,6 +309,45 @@ class HttpGateway:
                     _json_bytes({"error": exc.detail, "status": exc.status}),
                 )
             )
+
+    # -- /refresh --------------------------------------------------------------
+
+    async def _handle_refresh(
+        self, method: str, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        daemon = self.gateway.refresh
+        if daemon is None:
+            raise HttpError(404, "no refresh daemon is mounted")
+        if method == "GET":
+            writer.write(_response(200, _json_bytes(daemon.status())))
+            return
+        if method != "POST":
+            raise HttpError(405, "/refresh is GET or POST")
+        try:
+            payload = json.loads(body or b"{}")
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}")
+        if not isinstance(payload, dict):
+            raise HttpError(400, "body must be a JSON object")
+        if "pause" in payload:
+            if payload["pause"]:
+                daemon.pause()
+            else:
+                daemon.resume()
+            writer.write(
+                _response(200, _json_bytes({"state": daemon.state}))
+            )
+            return
+        # Trigger one iteration now; step() serializes internally and
+        # never raises, but it can rebuild — keep it off the event loop.
+        loop = asyncio.get_running_loop()
+        outcome = await loop.run_in_executor(None, daemon.step)
+        writer.write(
+            _response(
+                200,
+                _json_bytes({"step": outcome, "state": daemon.state}),
+            )
+        )
 
     # -- /query ----------------------------------------------------------------
 
@@ -427,14 +473,16 @@ async def run_gateway(
     host: str = "127.0.0.1",
     port: int = 8080,
     ready_callback=None,
+    refresh=None,
 ) -> None:
     """Serve ``engine`` over HTTP until drained (the CLI entry point).
 
     ``ready_callback(http_gateway)`` fires once the socket is bound —
     tests and the CLI use it to print the live address (with ``port=0``
-    the kernel picks it).
+    the kernel picks it).  ``refresh`` mounts a
+    :class:`~repro.refresh.RefreshDaemon` on the gateway.
     """
-    core = GatewayCore(engine, config)
+    core = GatewayCore(engine, config, refresh=refresh)
     server = HttpGateway(core, host=host, port=port)
     await server.start()
     if ready_callback is not None:

@@ -23,7 +23,7 @@ from typing import Dict, Iterable, List, Tuple
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
 #: Dict sections whose keys are free-form identifiers (one sample per
 #: entry, keyed by label) rather than fixed schema fields.
-_LABELED_MAPS = ("tenant_tokens", "shed")
+_LABELED_MAPS = ("tenant_tokens", "shed", "rungs")
 
 
 def _sanitize(part: str) -> str:

@@ -212,6 +212,26 @@ class ServingEngine:
                 retry=self.config.retry,
                 mode=self.config.executor,
             )
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has retired this engine."""
+        return self._closed
+
+    def close(self) -> None:
+        """Retire the engine (idempotent).
+
+        The simulated engine owns no kernel resources, so close is a
+        retirement *marker*, not a teardown: in-flight queries on a
+        displaced engine run to completion, and a cache object shared
+        with the replacement engine (``keep_cache`` swaps) is left
+        untouched.  Swap paths call this on the engine they displace so
+        version churn cannot silently accumulate live engines.
+        """
+        self._closed = True
 
     def _build_tier(self):
         """Resolve (tier_plan, runtime tier) from the configuration.
@@ -238,6 +258,29 @@ class ServingEngine:
         tier = plan.runtime()
         self.selector.attach_tier(tier)
         return plan, tier
+
+    def apply_tier_plan(self, plan: TierPlan) -> None:
+        """Re-plan the pinned DRAM tier in place, under live traffic.
+
+        The cheap first rung of the refresh repair ladder: rather than
+        rebuilding the whole engine, swap only the pinned hot set.  The
+        runtime tier is built fully before the one-reference rebind on
+        the selector, so a concurrent ``serve_query`` sees either the
+        old tier or the new one — both serve every key correctly (tier
+        membership only moves keys between the DRAM and SSD paths).
+        """
+        if self.config.tier_mode == "lru":
+            raise ServingError(
+                "apply_tier_plan requires tier_mode 'pinned' or 'hybrid'"
+            )
+        if plan.num_keys != self.layout.num_keys:
+            raise ServingError(
+                f"tier plan covers {plan.num_keys} keys; layout has "
+                f"{self.layout.num_keys}"
+            )
+        tier = plan.runtime() if plan.capacity else None
+        self.selector.attach_tier(tier)
+        self.tier_plan, self.tier = plan, tier
 
     def tier_info(self) -> "dict | None":
         """Tier configuration and size (None when no tier is active)."""

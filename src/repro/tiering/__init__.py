@@ -14,6 +14,7 @@ from .plan import (
     hotness_from_trace,
     plan_tier,
     plan_tier_from_trace,
+    replan_tier,
     replica_counts_from_layout,
 )
 from .serialize import (
@@ -30,6 +31,7 @@ __all__ = [
     "hotness_from_trace",
     "plan_tier",
     "plan_tier_from_trace",
+    "replan_tier",
     "replica_counts_from_layout",
     "load_tier_plan",
     "save_tier_plan",

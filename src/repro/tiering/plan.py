@@ -202,3 +202,39 @@ def plan_tier_from_trace(
     """Convenience: :func:`plan_tier` ranked by history access counts."""
     hotness = hotness_from_trace(trace, layout.num_keys)
     return plan_tier(layout, tier_ratio, hotness=hotness)
+
+
+def replan_tier(
+    layout: PageLayout,
+    window: "QueryTrace | Sequence",
+    tier_ratio: float,
+    previous: Optional[TierPlan] = None,
+    carry_weight: float = 0.25,
+) -> TierPlan:
+    """Incrementally re-plan the pinned tier from a *recent* window.
+
+    The cheap first rung of the refresh repair ladder: no offline
+    rebuild, no engine restart — just a new hot set mined from the live
+    traffic window.  When ``previous`` is given, its pinned keys carry a
+    small hotness bonus (``carry_weight`` × the window's mean positive
+    count) so the plan has hysteresis: keys only leave the tier when the
+    window demotes them decisively, which stops a noisy window from
+    churning the whole pinned set every re-plan.
+    """
+    if not 0.0 <= carry_weight <= 1.0:
+        raise ConfigError(
+            f"carry_weight must be in [0, 1], got {carry_weight}"
+        )
+    hotness = hotness_from_trace(window, layout.num_keys)
+    if previous is not None:
+        if previous.num_keys != layout.num_keys:
+            raise ConfigError(
+                f"previous plan covers {previous.num_keys} keys; layout "
+                f"has {layout.num_keys}"
+            )
+        positive = hotness[hotness > 0]
+        mean_hot = float(positive.mean()) if positive.size else 1.0
+        bonus = max(1, int(round(carry_weight * mean_hot)))
+        for key in previous.pinned:
+            hotness[key] += bonus
+    return plan_tier(layout, tier_ratio, hotness=hotness)
