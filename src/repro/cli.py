@@ -166,6 +166,15 @@ def _add_serve(subparsers) -> None:
     p.add_argument(
         "--executor", default="pipelined", choices=["pipelined", "serial"]
     )
+    p.add_argument(
+        "--device-command-path",
+        default="paged",
+        choices=["paged", "batched", "ndp"],
+        help="how reads reach the device: one command per page "
+        "(default), one submitted batch per query (amortizes the "
+        "profile's submit overhead), or one in-device gather command "
+        "(NDP; non-gather profiles are upgraded automatically)",
+    )
     p.add_argument("--threads", type=int, default=8)
     p.add_argument(
         "--shards",
@@ -508,6 +517,14 @@ def _fault_options(args) -> dict:
     return options
 
 
+def _device_options(args) -> dict:
+    """EngineConfig kwargs for the serve command's device-path flags."""
+    options: dict = {}
+    if getattr(args, "device_command_path", "paged") != "paged":
+        options["device_command_path"] = args.device_command_path
+    return options
+
+
 def _tier_options(args) -> dict:
     """EngineConfig kwargs for the serve command's DRAM-tier flags."""
     options: dict = {}
@@ -654,6 +671,7 @@ def _build_serve_engine(args):
             fast_selection=args.selection_path == "fast",
             executor=args.executor,
             threads=args.threads,
+            **_device_options(args),
             **fault_options,
         ),
     )
@@ -792,6 +810,7 @@ def _cmd_serve_cluster(args, trace) -> int:
             fast_selection=args.selection_path == "fast",
             executor=args.executor,
             threads=args.threads,
+            **_device_options(args),
             **_fault_options(args),
         ),
     )
@@ -853,6 +872,7 @@ def _cmd_serve(args) -> int:
                 executor=args.executor,
                 threads=args.threads,
                 **tier_options,
+                **_device_options(args),
                 **fault_options,
             ),
         )
@@ -872,6 +892,7 @@ def _cmd_serve(args) -> int:
                 executor=args.executor,
                 threads=args.threads,
                 **tier_options,
+                **_device_options(args),
                 **fault_options,
             ),
         )
@@ -888,6 +909,7 @@ def _cmd_serve(args) -> int:
             selector=args.selector,
             fast_selection=args.selection_path == "fast",
             executor=args.executor,
+            device_command_path=args.device_command_path,
             threads=args.threads,
         )
         store = MaxEmbedStore(layout, config)

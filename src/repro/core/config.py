@@ -45,6 +45,12 @@ class MaxEmbedConfig:
         raid_members: >1 stripes over a RAID-0.
         selector / executor: online algorithms (see
             :class:`~repro.serving.EngineConfig`).
+        device_command_path: how selected reads reach the device —
+            ``"paged"`` (one command per page, the historical default),
+            ``"batched"`` (one submitted batch per query, amortizing
+            the profile's ``submit_overhead_us``), or ``"ndp"`` (one
+            in-device gather command per query; non-gather profiles
+            are upgraded to their NDP counterpart).
         fast_selection: serve with the array-backed fast selectors
             (outcome-identical to the reference path; ``False`` forces
             the reference set-algebra selectors).
@@ -93,6 +99,7 @@ class MaxEmbedConfig:
     selector: str = "onepass"
     fast_selection: bool = True
     executor: str = "pipelined"
+    device_command_path: str = "paged"
     threads: int = 8
     scatter_workers: Optional[int] = None
     cost_model: CpuCostModel = field(default_factory=CpuCostModel)
@@ -113,6 +120,9 @@ class MaxEmbedConfig:
     # this way — see _SHARD_STRATEGIES below).
     _TIER_MODES = ("pinned", "lru", "hybrid")
     _OFFLINE_PATHS = ("fast", "reference")
+    # Kept in sync with repro.ssd.commands.DEVICE_COMMAND_PATHS (same
+    # one-way import rationale as the other mirrored tuples).
+    _DEVICE_COMMAND_PATHS = ("paged", "batched", "ndp")
     _PARTITIONERS = ("shp", "multilevel", "random", "vanilla")
     # Kept in sync with repro.cluster.planner.SHARD_STRATEGIES (the
     # cluster package imports core, so core cannot import it back).
@@ -154,6 +164,12 @@ class MaxEmbedConfig:
         if self.offline_workers is not None and self.offline_workers < 0:
             raise ConfigError(
                 f"offline_workers must be >= 0, got {self.offline_workers}"
+            )
+        if self.device_command_path not in self._DEVICE_COMMAND_PATHS:
+            raise ConfigError(
+                f"unknown device command path "
+                f"{self.device_command_path!r}; "
+                f"choose from {self._DEVICE_COMMAND_PATHS}"
             )
         if self.tier_mode not in self._TIER_MODES:
             raise ConfigError(

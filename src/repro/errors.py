@@ -33,6 +33,15 @@ class StorageError(ReproError):
     """The simulated SSD rejected a request (bad page id, closed device, …)."""
 
 
+class DeviceInterfaceError(StorageError):
+    """A device wrapper was mounted over an incompatible inner device.
+
+    Raised at *mount* time (wrapper construction), not mid-query: e.g.
+    :class:`~repro.faults.device.FaultySsd` around an object that lacks
+    the batched command interface (``submit_batch``).
+    """
+
+
 class DeviceFault(StorageError):
     """An injected device fault: a read failed, timed out, or corrupted.
 

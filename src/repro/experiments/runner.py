@@ -13,6 +13,7 @@ from ..errors import ExperimentError
 from . import (
     ablations,
     drift,
+    extension_ndp,
     refresh,
     fig03_motivation,
     fig08_effective_bandwidth,
@@ -58,6 +59,7 @@ ALL_EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "extension-page-size": ablations.run_page_size_sensitivity,
     "extension-load-latency": ablations.run_load_latency,
     "extension-history": ablations.run_history_sensitivity,
+    "extension-ndp": extension_ndp.run,
     "cluster-scaling": fig_cluster_scaling.run,
     "drift": drift.run,
     "refresh": refresh.run,

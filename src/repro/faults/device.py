@@ -26,7 +26,8 @@ import heapq
 from dataclasses import replace
 from typing import Dict, List, Optional, Set
 
-from ..errors import DeviceFault
+from ..errors import DeviceFault, DeviceInterfaceError
+from ..ssd.commands import DeviceCommand, GatherCommand, ReadCommand
 from ..ssd.device import Completion, DeviceStats
 from .injector import (
     BROWNOUT,
@@ -42,6 +43,13 @@ class FaultySsd:
     """Fault-injecting façade over any simulated page device."""
 
     def __init__(self, inner, injector: "FaultInjector | FaultPlan") -> None:
+        if not hasattr(inner, "submit_batch"):
+            raise DeviceInterfaceError(
+                f"FaultySsd requires a device exposing the batched command "
+                f"interface (submit_batch); "
+                f"{type(inner).__name__} does not — wrap a SimulatedSsd or "
+                f"Raid0Array, not a bare stub"
+            )
         if isinstance(injector, FaultPlan):
             injector = FaultInjector(injector)
         self._inner = inner
@@ -74,6 +82,11 @@ class FaultySsd:
     def inflight(self) -> int:
         """Reads submitted but not yet retired (held spikes included)."""
         return self._inner.inflight + len(self._held)
+
+    @property
+    def submit_overhead_us(self) -> float:
+        """Host CPU per submitted command (inner device's figure)."""
+        return getattr(self._inner, "submit_overhead_us", 0.0)
 
     @property
     def stats(self) -> DeviceStats:
@@ -147,6 +160,94 @@ class FaultySsd:
             self._spiked[completion.ticket] = adjusted
             return adjusted
         return completion
+
+    def submit_gather(
+        self, command: GatherCommand, now_us: float, attempt: int = 0
+    ) -> Completion:
+        """Submit an in-device gather with per-page fault draws.
+
+        Each of the gather's pages gets its own injector draw (in page
+        order), so fault exposure matches the per-page read path:
+
+        * the first submit-failure draw aborts the *whole* gather — one
+          command, one error status — and raises :class:`DeviceFault`
+          for that page;
+        * any corrupt draw poisons the merged completion (the integrity
+          check covers the full gathered payload);
+        * latency-spike draws stretch the completion by the largest
+          spike among the pages.
+        """
+        failure = None
+        corrupt = False
+        extra_latency = 0.0
+        for page_id in command.page_ids:
+            decision = self.injector.decide(page_id, now_us, attempt)
+            if decision.kind in SUBMIT_FAILURES:
+                if decision.kind == BROWNOUT:
+                    failed_at = max(now_us, decision.retry_at_us)
+                else:
+                    failed_at = now_us + self.profile.read_latency_us
+                failure = DeviceFault(
+                    f"injected {decision.kind} on page {page_id} "
+                    f"(gather of {command.num_pages}, attempt {attempt})",
+                    page_id=page_id,
+                    kind=decision.kind,
+                    failed_at_us=failed_at,
+                )
+                break
+            if decision.kind == CORRUPT:
+                corrupt = True
+            elif decision.kind == LATENCY_SPIKE:
+                extra_latency = max(
+                    extra_latency, decision.extra_latency_us
+                )
+        if failure is not None:
+            raise failure
+        completion = self._inner.submit_gather(command, now_us)
+        if corrupt:
+            self._corrupt_tickets.add(completion.ticket)
+        if extra_latency > 0.0:
+            adjusted = replace(
+                completion,
+                completed_at_us=completion.completed_at_us + extra_latency,
+            )
+            self._spiked[completion.ticket] = adjusted
+            return adjusted
+        return completion
+
+    def submit_batch(
+        self,
+        commands: "list[DeviceCommand]",
+        now_us: float,
+        attempt: int = 0,
+    ) -> "List[Completion | DeviceFault]":
+        """Submit a command batch; faults are *returned*, not raised.
+
+        One entry per command, in order: a :class:`Completion` where the
+        submission succeeded, the :class:`DeviceFault` itself where the
+        injector failed it.  Returning faults inline keeps the rest of
+        the batch flowing — the caller retries the failed commands
+        individually (starting at ``attempt + 1``; this batch consumed
+        the per-page draws for ``attempt``).
+        """
+        results: "List[Completion | DeviceFault]" = []
+        for command in commands:
+            try:
+                if isinstance(command, ReadCommand):
+                    results.append(
+                        self.submit_read(command.page_id, now_us, attempt)
+                    )
+                elif isinstance(command, GatherCommand):
+                    results.append(
+                        self.submit_gather(command, now_us, attempt)
+                    )
+                else:
+                    raise DeviceInterfaceError(
+                        f"unknown device command {type(command).__name__}"
+                    )
+            except DeviceFault as fault:
+                results.append(fault)
+        return results
 
     def poll(self, now_us: float) -> List[Completion]:
         """Retire completed reads, honouring spiked completion times."""

@@ -27,7 +27,15 @@ from .fast_selection import (
     FastSelectionOutcome,
 )
 from .cost_model import CpuCostModel
-from .executor import ExecutionResult, Executor, PipelinedExecutor, SerialExecutor
+from .executor import (
+    BatchedExecutor,
+    ExecutionResult,
+    Executor,
+    NdpExecutor,
+    PipelinedExecutor,
+    SerialExecutor,
+    build_gather_command,
+)
 from .engine import EngineConfig, QueryResult, ServingEngine
 from .recovery import DegradedExecution, RecoveringExecutor, RetryPolicy
 from .stats import ServingReport, aggregate_results
@@ -47,6 +55,9 @@ __all__ = [
     "Executor",
     "SerialExecutor",
     "PipelinedExecutor",
+    "BatchedExecutor",
+    "NdpExecutor",
+    "build_gather_command",
     "ExecutionResult",
     "RetryPolicy",
     "RecoveringExecutor",

@@ -19,11 +19,24 @@ from ..errors import ServingError
 from ..faults import BreakerConfig, FaultPlan, FaultySsd
 from ..overload import DegradeLevel
 from ..placement import PageLayout, build_indexes
-from ..ssd import P5800X, Raid0Array, SimulatedSsd, SsdProfile
+from ..ssd import (
+    DEVICE_COMMAND_PATHS,
+    NdpSsdProfile,
+    P5800X,
+    Raid0Array,
+    SimulatedSsd,
+    SsdProfile,
+)
 from ..tiering import TIER_MODES, PinnedTier, TierPlan, plan_tier
 from ..types import EmbeddingSpec, Query, QueryTrace
 from .cost_model import CpuCostModel
-from .executor import Executor, PipelinedExecutor, SerialExecutor
+from .executor import (
+    BatchedExecutor,
+    Executor,
+    NdpExecutor,
+    PipelinedExecutor,
+    SerialExecutor,
+)
 from .fast_selection import FastGreedySelector, FastOnePassSelector
 from .recovery import RecoveringExecutor, RetryPolicy
 from .selection import (
@@ -91,6 +104,15 @@ class EngineConfig:
             trace-hotness plan persisted next to the layout).  None in
             ``pinned``/``hybrid`` mode derives a replica-count plan from
             the layout at ``tier_ratio``.
+        device_command_path: how selected reads reach the device —
+            ``"paged"`` (one command per page through the configured
+            executor; the default, bit-identical to the pre-batch
+            engine), ``"batched"`` (all of a query's reads in one
+            submitted batch, amortizing ``submit_overhead_us``), or
+            ``"ndp"`` (a single in-device gather command; the profile
+            must support gather — a plain profile is auto-upgraded to
+            its :class:`~repro.ssd.NdpSsdProfile` counterpart).
+            Non-paged paths override the ``executor`` timing model.
     """
 
     spec: EmbeddingSpec = field(default_factory=EmbeddingSpec)
@@ -113,8 +135,15 @@ class EngineConfig:
     tier_mode: str = "lru"
     tier_ratio: float = 0.0
     tier_plan: Optional[TierPlan] = None
+    device_command_path: str = "paged"
 
     def __post_init__(self) -> None:
+        if self.device_command_path not in DEVICE_COMMAND_PATHS:
+            raise ServingError(
+                f"unknown device_command_path "
+                f"{self.device_command_path!r}; "
+                f"choose from {sorted(DEVICE_COMMAND_PATHS)}"
+            )
         if self.selector not in _SELECTORS:
             raise ServingError(
                 f"unknown selector {self.selector!r}; "
@@ -179,9 +208,18 @@ class ServingEngine:
         self.selector: Selector = selectors[self.config.selector](
             self.forward, self.invert
         )
-        self.executor: Executor = _EXECUTORS[self.config.executor](
-            self.config.cost_model
-        )
+        # Non-paged command paths carry their own timing model; the
+        # configured executor only picks the model on the paged path.
+        if self.config.device_command_path == "batched":
+            self.executor: Executor = BatchedExecutor(self.config.cost_model)
+        elif self.config.device_command_path == "ndp":
+            self.executor = NdpExecutor(
+                self.config.cost_model, spec=self.config.spec
+            )
+        else:
+            self.executor = _EXECUTORS[self.config.executor](
+                self.config.cost_model
+            )
         self.tier_plan, self.tier = self._build_tier()
         # Pinned mode devotes the whole DRAM key budget to the offline
         # statistical tier; the reactive cache is off.  The engine splits
@@ -205,12 +243,17 @@ class ServingEngine:
                 full_forward = self.forward
             else:
                 full_forward, _ = build_indexes(layout, limit=None)
+            if self.config.device_command_path != "paged":
+                recovery_mode = self.config.device_command_path
+            else:
+                recovery_mode = self.config.executor
             self._recovery = RecoveringExecutor(
                 full_forward,
                 self.invert,
                 cost_model=self.config.cost_model,
                 retry=self.config.retry,
-                mode=self.config.executor,
+                mode=recovery_mode,
+                spec=self.config.spec,
             )
         self._closed = False
 
@@ -295,15 +338,24 @@ class ServingEngine:
         }
 
     def _build_device(self):
+        profile = self.config.profile
+        if (
+            self.config.device_command_path == "ndp"
+            and not profile.supports_gather
+        ):
+            # The ndp path needs a gather engine: upgrade a plain profile
+            # to its NDP counterpart (same latency/bandwidth/queue depth,
+            # default controller parameters).
+            profile = NdpSsdProfile.from_base(profile)
         if self.config.raid_members > 1:
             device = Raid0Array(
-                self.config.profile,
+                profile,
                 members=self.config.raid_members,
                 page_size=self.config.spec.page_size,
             )
         else:
             device = SimulatedSsd(
-                self.config.profile, page_size=self.config.spec.page_size
+                profile, page_size=self.config.spec.page_size
             )
         if self.config.fault_plan is not None:
             return FaultySsd(device, self.config.fault_plan)

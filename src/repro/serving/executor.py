@@ -14,14 +14,30 @@ when the query's last page read completes.
   query only waits at the end, polling all completions (mirrors SPDK
   submit/poll usage in the paper).  The win is the selection CPU hidden
   behind device time — the paper measures ~10 % (§8.4).
+* :class:`BatchedExecutor` — the batched command path: selection runs to
+  completion, then every chosen read is submitted as **one**
+  :class:`~repro.ssd.commands.ReadCommand` batch, so the host-side
+  submission overhead (``SsdProfile.submit_overhead_us``) is paid once
+  per query instead of once per page.  With zero overhead (the default
+  profiles) timing is bit-identical to :class:`SerialExecutor`.
+* :class:`NdpExecutor` — near-data-processing path: the selected pages
+  go down as a single :class:`~repro.ssd.commands.GatherCommand`; the
+  device parses pages in its controller and returns only the valid
+  embeddings over the bus (requires a gather-capable profile).
+
+Every executor charges ``device.submit_overhead_us`` of host CPU per
+submitted command; the default profiles set it to ``0.0``, so existing
+per-page timing is unchanged (``now + 0.0`` is float-exact).
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Tuple
+from typing import List, Sequence, Tuple
 
+from ..ssd.commands import DeviceCommand, GatherCommand, ReadCommand
+from ..types import EmbeddingSpec
 from .cost_model import CpuCostModel
 from .selection import SelectionOutcome
 
@@ -52,6 +68,31 @@ class ExecutionResult:
         return self.sort_us + self.selection_us
 
 
+def build_gather_command(
+    outcome: SelectionOutcome, spec: "EmbeddingSpec | None" = None
+) -> GatherCommand:
+    """Translate a selection outcome into one multi-key gather command.
+
+    The controller scans every slot of every named page (``candidates``);
+    only the wanted embeddings cross the bus (``payload_bytes``).  With
+    no :class:`~repro.types.EmbeddingSpec` the selector's own candidate
+    accounting and a 4-byte-per-key payload bound stand in.
+    """
+    wanted = sum(outcome.covered_counts)
+    if spec is not None:
+        candidates = outcome.num_steps * spec.slots_per_page
+        payload = wanted * spec.embedding_bytes
+    else:
+        candidates = outcome.total_candidates
+        payload = wanted * 4
+    return GatherCommand(
+        page_ids=tuple(outcome.pages),
+        wanted_keys=wanted,
+        candidates=candidates,
+        payload_bytes=payload,
+    )
+
+
 class Executor(ABC):
     """Strategy interface for executing a selected query against a device."""
 
@@ -70,6 +111,11 @@ class Executor(ABC):
         return self.cost_model.query_base_us + sort, sort
 
     @staticmethod
+    def _submit_overhead(device) -> float:
+        """Host CPU charged per submitted command (0 for plain devices)."""
+        return getattr(device, "submit_overhead_us", 0.0)
+
+    @staticmethod
     def _submit_with_backpressure(device, page_id: int, now_us: float):
         """Submit one read, stalling on a full submission queue.
 
@@ -86,6 +132,34 @@ class Executor(ABC):
             device.poll(now_us)
         return device.submit_read(page_id, now_us), now_us
 
+    @staticmethod
+    def _submit_batch_with_backpressure(
+        device, commands: Sequence[DeviceCommand], now_us: float
+    ):
+        """Submit a command batch, chunking on submission-queue headroom.
+
+        The whole batch shares one submission timestamp unless the queue
+        fills mid-way, in which case the submitting CPU polls until
+        slots free (advancing the clock) and pushes the remainder —
+        same stall rule as :meth:`_submit_with_backpressure`, amortized.
+        Returns ``(completions, now_us)``.
+        """
+        completions: List = []
+        index = 0
+        while index < len(commands):
+            free = device.queue_depth - device.inflight
+            if free <= 0:
+                next_done = device.next_completion_time()
+                if next_done is None:  # pragma: no cover - queue full ⇒ set
+                    break
+                now_us = max(now_us, next_done)
+                device.poll(now_us)
+                continue
+            chunk = list(commands[index : index + free])
+            completions.extend(device.submit_batch(chunk, now_us))
+            index += len(chunk)
+        return completions, now_us
+
 
 class SerialExecutor(Executor):
     """All selection first, then all reads — no CPU/I-O overlap."""
@@ -96,12 +170,15 @@ class SerialExecutor(Executor):
         front, sort_us = self._front_costs(outcome)
         selection_us = self.cost_model.selection_time_us(outcome)
         now = start_us + front + selection_us
+        overhead = self._submit_overhead(device)
         last_completion = now
         for page_id in outcome.pages:
+            now += overhead
             completion, now = self._submit_with_backpressure(
                 device, page_id, now
             )
             last_completion = max(last_completion, completion.completed_at_us)
+        last_completion = max(last_completion, now)
         device.poll(last_completion)
         return ExecutionResult(
             start_us=start_us,
@@ -122,13 +199,14 @@ class PipelinedExecutor(Executor):
         front, sort_us = self._front_costs(outcome)
         now = start_us + front
         selection_us = 0.0
+        overhead = self._submit_overhead(device)
         last_completion = now
         for page_id, candidates in zip(
             outcome.pages, outcome.candidate_counts
         ):
             cpu = self.cost_model.step_time_us(candidates)
             selection_us += cpu
-            now += cpu
+            now += cpu + overhead
             completion, now = self._submit_with_backpressure(
                 device, page_id, now
             )
@@ -141,5 +219,96 @@ class PipelinedExecutor(Executor):
             sort_us=sort_us,
             selection_us=selection_us,
             io_wait_us=max(0.0, finish - now),
+            pages_read=outcome.num_steps,
+        )
+
+
+class BatchedExecutor(Executor):
+    """Selection first, then all reads as **one** submitted batch.
+
+    The host builds a :class:`~repro.ssd.commands.ReadCommand` per
+    selected page and pushes the whole vector through ``submit_batch``,
+    paying ``submit_overhead_us`` once per query rather than once per
+    page.  The device's service model is untouched: with zero overhead
+    this is bit-identical to :class:`SerialExecutor`.
+    """
+
+    def execute(
+        self, outcome: SelectionOutcome, device, start_us: float
+    ) -> ExecutionResult:
+        front, sort_us = self._front_costs(outcome)
+        selection_us = self.cost_model.selection_time_us(outcome)
+        now = start_us + front + selection_us
+        last_completion = now
+        if outcome.num_steps:
+            now += self._submit_overhead(device)
+            commands = [ReadCommand(p) for p in outcome.pages]
+            completions, now = self._submit_batch_with_backpressure(
+                device, commands, now
+            )
+            for completion in completions:
+                last_completion = max(
+                    last_completion, completion.completed_at_us
+                )
+        last_completion = max(last_completion, now)
+        device.poll(last_completion)
+        return ExecutionResult(
+            start_us=start_us,
+            finish_us=last_completion,
+            sort_us=sort_us,
+            selection_us=selection_us,
+            io_wait_us=last_completion - now,
+            pages_read=outcome.num_steps,
+        )
+
+
+class NdpExecutor(Executor):
+    """One multi-key gather command per query (extension: NDP device).
+
+    Selection still runs on the host (it needs the inverted index and
+    cache state), but instead of reading whole pages back, the chosen
+    pages go down as a single :class:`~repro.ssd.commands.GatherCommand`:
+    the device's controller parses every slot of the named pages
+    (``candidates``) and only the wanted embeddings
+    (``wanted × embedding_bytes``) cross the host bus.  Requires a
+    gather-capable profile (:class:`~repro.ssd.profiles.NdpSsdProfile`).
+    """
+
+    def __init__(
+        self,
+        cost_model: "CpuCostModel | None" = None,
+        spec: "EmbeddingSpec | None" = None,
+    ) -> None:
+        super().__init__(cost_model)
+        self.spec = spec
+
+    def _gather_command(self, outcome: SelectionOutcome) -> GatherCommand:
+        """Translate a selection outcome into one gather command."""
+        return build_gather_command(outcome, self.spec)
+
+    def execute(
+        self, outcome: SelectionOutcome, device, start_us: float
+    ) -> ExecutionResult:
+        front, sort_us = self._front_costs(outcome)
+        selection_us = self.cost_model.selection_time_us(outcome)
+        now = start_us + front + selection_us
+        last_completion = now
+        if outcome.num_steps:
+            now += self._submit_overhead(device)
+            completions, now = self._submit_batch_with_backpressure(
+                device, [self._gather_command(outcome)], now
+            )
+            for completion in completions:
+                last_completion = max(
+                    last_completion, completion.completed_at_us
+                )
+        last_completion = max(last_completion, now)
+        device.poll(last_completion)
+        return ExecutionResult(
+            start_us=start_us,
+            finish_us=last_completion,
+            sort_us=sort_us,
+            selection_us=selection_us,
+            io_wait_us=last_completion - now,
             pages_read=outcome.num_steps,
         )

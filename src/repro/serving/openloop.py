@@ -38,6 +38,7 @@ from ..overload import (
     engine_hotness,
 )
 from ..types import Query
+from ..utils.reservoir import percentile
 from ..utils.rng import RngLike, make_rng
 from .engine import ServingEngine
 
@@ -100,9 +101,7 @@ class OpenLoopReport:
         """Latency percentile."""
         if not self.results:
             return 0.0
-        return float(
-            np.percentile([r.latency_us for r in self.results], pct)
-        )
+        return percentile([r.latency_us for r in self.results], pct)
 
     def mean_queue_wait_us(self) -> float:
         """Mean time spent queued before service."""

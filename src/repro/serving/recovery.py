@@ -31,8 +31,10 @@ from typing import List, Tuple
 from ..errors import ConfigError, DeviceFault
 from ..faults.device import FaultySsd
 from ..placement import ForwardIndex, InvertIndex
+from ..ssd.commands import ReadCommand
+from ..types import EmbeddingSpec
 from .cost_model import CpuCostModel
-from .executor import ExecutionResult
+from .executor import ExecutionResult, Executor, build_gather_command
 
 
 @dataclass(frozen=True)
@@ -117,8 +119,14 @@ class RecoveringExecutor:
         invert: the layout's invert index (page → co-resident keys).
         cost_model: CPU charge table (same as the plain executors).
         retry: bounded-backoff retry policy.
-        mode: ``"pipelined"`` or ``"serial"`` — mirrors the timing model
-            of the corresponding plain executor.
+        mode: ``"pipelined"``, ``"serial"``, ``"batched"`` or ``"ndp"``
+            — mirrors the timing model of the corresponding plain
+            executor.  The batched mode submits the initial read wave as
+            one batch (faults come back inline and are retried
+            per-page); the ndp mode retries the whole gather, falling
+            back to per-page reads when it keeps failing.
+        spec: embedding geometry (ndp mode only — sizes the gather's
+            candidate scan and payload).
     """
 
     def __init__(
@@ -128,20 +136,24 @@ class RecoveringExecutor:
         cost_model: "CpuCostModel | None" = None,
         retry: "RetryPolicy | None" = None,
         mode: str = "pipelined",
+        spec: "EmbeddingSpec | None" = None,
     ) -> None:
-        if mode not in ("pipelined", "serial"):
+        if mode not in ("pipelined", "serial", "batched", "ndp"):
             raise ConfigError(
-                f"mode must be pipelined|serial, got {mode!r}"
+                f"mode must be pipelined|serial|batched|ndp, got {mode!r}"
             )
         self.full_forward = full_forward
         self.invert = invert
         self.cost_model = cost_model or CpuCostModel()
         self.retry = retry or RetryPolicy()
         self.mode = mode
+        self.spec = spec
 
     # -- one fault-aware read ----------------------------------------------------
 
-    def _read_with_retry(self, device, page_id: int, now_us: float):
+    def _read_with_retry(
+        self, device, page_id: int, now_us: float, start_attempt: int = 0
+    ):
         """Read ``page_id`` with backpressure, retries, and backoff.
 
         Returns ``(completion_or_None, now_us, retries, wasted_reads)``;
@@ -149,9 +161,16 @@ class RecoveringExecutor:
         Corrupt completions are detected at their (simulated) arrival, so
         a corrupt read synchronizes the clock to its completion before
         the retry — the caller paid for the full wasted transfer.
+
+        ``start_attempt`` offsets the injector's per-attempt draw
+        coordinates past attempts already consumed elsewhere (a failed
+        batch or gather submission burnt attempt numbers below it); the
+        retry *budget* and backoff schedule are relative to it, so the
+        page still gets a full set of retries.
         """
         attempt_aware = isinstance(device, FaultySsd)
-        attempt = 0
+        overhead = getattr(device, "submit_overhead_us", 0.0)
+        attempt = start_attempt
         retries = 0
         wasted = 0
         while True:
@@ -161,6 +180,7 @@ class RecoveringExecutor:
                     break
                 now_us = max(now_us, next_done)
                 device.poll(now_us)
+            now_us += overhead
             try:
                 if attempt_aware:
                     completion = device.submit_read(page_id, now_us, attempt)
@@ -170,51 +190,152 @@ class RecoveringExecutor:
                 now_us = max(now_us, fault.failed_at_us)
                 if (
                     fault.kind == "dead_page"
-                    or attempt >= self.retry.max_retries
+                    or attempt - start_attempt >= self.retry.max_retries
                 ):
                     return None, now_us, retries, wasted
-                now_us += self.retry.backoff_for(attempt)
+                now_us += self.retry.backoff_for(attempt - start_attempt)
                 attempt += 1
                 retries += 1
                 continue
             if attempt_aware and device.is_corrupt(completion):
                 wasted += 1
                 now_us = max(now_us, completion.completed_at_us)
-                if attempt >= self.retry.max_retries:
+                if attempt - start_attempt >= self.retry.max_retries:
                     return None, now_us, retries, wasted
-                now_us += self.retry.backoff_for(attempt)
+                now_us += self.retry.backoff_for(attempt - start_attempt)
                 attempt += 1
                 retries += 1
                 continue
             return completion, now_us, retries, wasted
 
-    # -- full query --------------------------------------------------------------
+    # -- initial waves for the batched command paths ----------------------------
 
-    def execute(self, outcome, device, start_us: float) -> DegradedExecution:
-        """Run ``outcome`` on ``device``; degrade instead of raising."""
-        cost = self.cost_model
-        steps = outcome.steps
-        sort_us = cost.sort_time_us(outcome.sorted_keys)
-        now = start_us + cost.query_base_us + sort_us
-        selection_us = 0.0
-        if self.mode == "serial":
-            selection_us = cost.selection_time_us(outcome)
-            now += selection_us
-        last_completion = now
+    def _batched_wave(
+        self, device, steps, now, last_completion,
+        valid_counts, pages_ok, failed_pages, lost_order,
+    ):
+        """Submit the whole read wave as one batch; retry stragglers.
+
+        With a :class:`~repro.faults.device.FaultySsd` underneath, the
+        batch comes back as a mix of completions and inline
+        :class:`~repro.errors.DeviceFault` entries; each faulted or
+        corrupt entry is resubmitted per-page starting at attempt 1
+        (the batch consumed every page's attempt-0 draw).
+        """
         retries = 0
         failed_reads = 0
         wasted_reads = 0
-        valid_counts: List[int] = []
-        pages_ok: List[int] = []
-        failed_pages = set()
-        lost_order: List[int] = []
+        attempt_aware = isinstance(device, FaultySsd)
+        now += getattr(device, "submit_overhead_us", 0.0)
+        commands = [ReadCommand(step.page_id) for step in steps]
+        results, now = Executor._submit_batch_with_backpressure(
+            device, commands, now
+        )
+        for step, result in zip(steps, results):
+            completion = result
+            if isinstance(result, DeviceFault):
+                now = max(now, result.failed_at_us)
+                if result.kind == "dead_page" or self.retry.max_retries == 0:
+                    completion = None
+                else:
+                    now += self.retry.backoff_for(0)
+                    retries += 1
+                    completion, now, r, w = self._read_with_retry(
+                        device, step.page_id, now, start_attempt=1
+                    )
+                    retries += r
+                    wasted_reads += w
+            elif attempt_aware and device.is_corrupt(result):
+                wasted_reads += 1
+                now = max(now, result.completed_at_us)
+                if self.retry.max_retries == 0:
+                    completion = None
+                else:
+                    now += self.retry.backoff_for(0)
+                    retries += 1
+                    completion, now, r, w = self._read_with_retry(
+                        device, step.page_id, now, start_attempt=1
+                    )
+                    retries += r
+                    wasted_reads += w
+            if completion is None:
+                failed_reads += 1
+                failed_pages.add(step.page_id)
+                lost_order.extend(step.covered)
+            else:
+                last_completion = max(
+                    last_completion, completion.completed_at_us
+                )
+                valid_counts.append(len(step.covered))
+                pages_ok.append(step.page_id)
+        return now, last_completion, retries, failed_reads, wasted_reads
+
+    def _gather_wave(
+        self, outcome, device, now, last_completion,
+        valid_counts, pages_ok, failed_pages, lost_order,
+    ):
+        """Submit the query as one gather; retry whole, then per-page.
+
+        A gather is all-or-nothing, so a fault retries the *whole*
+        command (``wasted_reads`` counts corrupt gathers at command
+        grain).  When it keeps failing — a dead page poisons every
+        attempt — the wave falls back to plain per-page reads, with
+        attempt numbers offset past the draws the gathers consumed.
+        """
+        retries = 0
+        failed_reads = 0
+        wasted_reads = 0
+        steps = outcome.steps
+        attempt_aware = isinstance(device, FaultySsd)
+        overhead = getattr(device, "submit_overhead_us", 0.0)
+        command = build_gather_command(outcome, self.spec)
+        attempt = 0
+        completion = None
+        while True:
+            while device.inflight >= device.queue_depth:
+                next_done = device.next_completion_time()
+                if next_done is None:  # pragma: no cover - inflight implies one
+                    break
+                now = max(now, next_done)
+                device.poll(now)
+            now += overhead
+            try:
+                if attempt_aware:
+                    result = device.submit_gather(command, now, attempt)
+                else:
+                    result = device.submit_gather(command, now)
+            except DeviceFault as fault:
+                now = max(now, fault.failed_at_us)
+                if (
+                    fault.kind == "dead_page"
+                    or attempt >= self.retry.max_retries
+                ):
+                    break
+                now += self.retry.backoff_for(attempt)
+                attempt += 1
+                retries += 1
+                continue
+            if attempt_aware and device.is_corrupt(result):
+                wasted_reads += 1
+                now = max(now, result.completed_at_us)
+                if attempt >= self.retry.max_retries:
+                    break
+                now += self.retry.backoff_for(attempt)
+                attempt += 1
+                retries += 1
+                continue
+            completion = result
+            break
+        if completion is not None:
+            last_completion = max(last_completion, completion.completed_at_us)
+            for step in steps:
+                valid_counts.append(len(step.covered))
+                pages_ok.append(step.page_id)
+            return now, last_completion, retries, failed_reads, wasted_reads
+        start = attempt + 1
         for step in steps:
-            if self.mode == "pipelined":
-                cpu = cost.step_time_us(step.candidates_examined)
-                selection_us += cpu
-                now += cpu
             completion, now, r, w = self._read_with_retry(
-                device, step.page_id, now
+                device, step.page_id, now, start_attempt=start
             )
             retries += r
             wasted_reads += w
@@ -228,6 +349,63 @@ class RecoveringExecutor:
                 )
                 valid_counts.append(len(step.covered))
                 pages_ok.append(step.page_id)
+        return now, last_completion, retries, failed_reads, wasted_reads
+
+    # -- full query --------------------------------------------------------------
+
+    def execute(self, outcome, device, start_us: float) -> DegradedExecution:
+        """Run ``outcome`` on ``device``; degrade instead of raising."""
+        cost = self.cost_model
+        steps = outcome.steps
+        sort_us = cost.sort_time_us(outcome.sorted_keys)
+        now = start_us + cost.query_base_us + sort_us
+        selection_us = 0.0
+        if self.mode in ("serial", "batched", "ndp"):
+            selection_us = cost.selection_time_us(outcome)
+            now += selection_us
+        last_completion = now
+        retries = 0
+        failed_reads = 0
+        wasted_reads = 0
+        valid_counts: List[int] = []
+        pages_ok: List[int] = []
+        failed_pages = set()
+        lost_order: List[int] = []
+        if self.mode == "batched" and steps:
+            (
+                now, last_completion, retries, failed_reads, wasted_reads
+            ) = self._batched_wave(
+                device, steps, now, last_completion,
+                valid_counts, pages_ok, failed_pages, lost_order,
+            )
+        elif self.mode == "ndp" and steps:
+            (
+                now, last_completion, retries, failed_reads, wasted_reads
+            ) = self._gather_wave(
+                outcome, device, now, last_completion,
+                valid_counts, pages_ok, failed_pages, lost_order,
+            )
+        else:
+            for step in steps:
+                if self.mode == "pipelined":
+                    cpu = cost.step_time_us(step.candidates_examined)
+                    selection_us += cpu
+                    now += cpu
+                completion, now, r, w = self._read_with_retry(
+                    device, step.page_id, now
+                )
+                retries += r
+                wasted_reads += w
+                if completion is None:
+                    failed_reads += 1
+                    failed_pages.add(step.page_id)
+                    lost_order.extend(step.covered)
+                else:
+                    last_completion = max(
+                        last_completion, completion.completed_at_us
+                    )
+                    valid_counts.append(len(step.covered))
+                    pages_ok.append(step.page_id)
         recovered = 0
         missing: List[int] = []
         replacement_reads = 0

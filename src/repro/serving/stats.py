@@ -14,6 +14,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from ..errors import ServingError
+from ..utils.reservoir import percentile
 from .executor import ExecutionResult
 
 
@@ -123,7 +124,7 @@ class ServingReport:
             return 0.0
         if not 0 <= pct <= 100:
             raise ServingError(f"percentile must be in [0, 100], got {pct}")
-        return float(np.percentile(self.latencies_us, pct))
+        return percentile(self.latencies_us, pct)
 
     # -- bandwidth ---------------------------------------------------------------
 

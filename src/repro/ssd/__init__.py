@@ -15,8 +15,23 @@ returns a ticket; ``poll`` retires completions.  All time is simulated
 """
 
 from .clock import SimClock
-from .profiles import SsdProfile, P5800X, P4510, RAID0_2X_P5800X, GENERIC_NAND, PROFILES
-from .page_store import PageStore
+from .commands import (
+    DEVICE_COMMAND_PATHS,
+    DeviceCommand,
+    GatherCommand,
+    ReadCommand,
+)
+from .profiles import (
+    GENERIC_NAND,
+    NdpSsdProfile,
+    P4510,
+    P5800X,
+    P5800X_NDP,
+    PROFILES,
+    RAID0_2X_P5800X,
+    SsdProfile,
+)
+from .page_store import PageStore, gather_embeddings
 from .device import Completion, DeviceStats, SimulatedSsd
 from .raid import Raid0Array
 from .tracing import IoRecord, TracingDevice
@@ -24,16 +39,23 @@ from .tracing import IoRecord, TracingDevice
 __all__ = [
     "SimClock",
     "SsdProfile",
+    "NdpSsdProfile",
     "P5800X",
     "P4510",
     "RAID0_2X_P5800X",
     "GENERIC_NAND",
+    "P5800X_NDP",
     "PROFILES",
     "PageStore",
+    "gather_embeddings",
     "SimulatedSsd",
     "Completion",
     "DeviceStats",
     "Raid0Array",
     "TracingDevice",
     "IoRecord",
+    "ReadCommand",
+    "GatherCommand",
+    "DeviceCommand",
+    "DEVICE_COMMAND_PATHS",
 ]

@@ -1,0 +1,94 @@
+"""Device command vocabulary: what the host asks a drive to do.
+
+Splitting the *command set* from the *timing model* lets every device in
+the stack (single drive, RAID-0 array, fault wrapper, tracing wrapper)
+accept the same batched submissions while keeping its own service-time
+rules.  Two commands cover the serving paths:
+
+* :class:`ReadCommand` — transfer one whole page over the bus (the
+  classic path; a batch of these is what ``--device-command-path
+  batched`` submits per selection outcome).
+* :class:`GatherCommand` — a near-data-processing multi-key gather: the
+  device reads the named pages internally, parses them, scans the slot
+  candidates with its controller CPU, and puts only the valid embedding
+  payload on the bus (the RecSSD-style path behind
+  ``--device-command-path ndp``).  Requires a profile with
+  ``supports_gather`` (see
+  :class:`~repro.ssd.profiles.NdpSsdProfile`).
+
+Commands are pure descriptions — they carry no timing.  Devices answer
+each with one :class:`~repro.ssd.device.Completion`, in submission
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from ..errors import StorageError
+
+
+@dataclass(frozen=True)
+class ReadCommand:
+    """Transfer one whole page over the bus."""
+
+    page_id: int
+
+    def __post_init__(self) -> None:
+        if self.page_id < 0:
+            raise StorageError(
+                f"page id must be >= 0, got {self.page_id}"
+            )
+
+
+@dataclass(frozen=True)
+class GatherCommand:
+    """In-device multi-key gather over a set of pages.
+
+    Attributes:
+        page_ids: pages the device must read from media (internally; they
+            never cross the bus whole).
+        wanted_keys: embeddings the gather must deliver.
+        candidates: slot candidates the controller CPU scans while
+            parsing the pages (drives the modeled controller cost).
+        payload_bytes: valid bytes put on the bus — the gathered
+            embeddings only, not the raw pages.
+    """
+
+    page_ids: Tuple[int, ...]
+    wanted_keys: int
+    candidates: int
+    payload_bytes: int
+
+    def __post_init__(self) -> None:
+        if not self.page_ids:
+            raise StorageError("a gather must name at least one page")
+        for page_id in self.page_ids:
+            if page_id < 0:
+                raise StorageError(
+                    f"page id must be >= 0, got {page_id}"
+                )
+        if self.wanted_keys < 0:
+            raise StorageError(
+                f"wanted_keys must be >= 0, got {self.wanted_keys}"
+            )
+        if self.candidates < 0:
+            raise StorageError(
+                f"candidates must be >= 0, got {self.candidates}"
+            )
+        if self.payload_bytes < 0:
+            raise StorageError(
+                f"payload_bytes must be >= 0, got {self.payload_bytes}"
+            )
+
+    @property
+    def num_pages(self) -> int:
+        """Pages read from media by this gather."""
+        return len(self.page_ids)
+
+
+DeviceCommand = Union[ReadCommand, GatherCommand]
+
+#: Valid ``device_command_path`` settings, shared by engine/core/CLI.
+DEVICE_COMMAND_PATHS: Tuple[str, ...] = ("paged", "batched", "ndp")

@@ -17,6 +17,25 @@ gives exactly the two behaviours the experiments need:
 ``queue_depth`` bounds in-flight reads the way an NVMe submission queue
 does; submitting beyond it raises, mirroring SPDK's failed submission.
 
+Command set vs timing model
+---------------------------
+``submit_read`` is the classic one-page command.  ``submit_batch``
+accepts a sequence of :class:`~repro.ssd.commands.ReadCommand` /
+:class:`~repro.ssd.commands.GatherCommand` and answers one
+:class:`Completion` per command, in order.  A batch of read commands is
+*bit-identical* to a loop of ``submit_read`` calls at the same time —
+batching changes who pays the host-side submission overhead (see
+``SsdProfile.submit_overhead_us``), never the device service model.
+
+A gather (NDP profiles only) occupies the device for::
+
+    media + controller-scan + bus
+
+where media is the named pages moved at the *internal* bandwidth,
+controller-scan is ``gather_setup + scan_per_candidate × candidates``
+of in-device CPU, and bus is only the valid ``payload_bytes`` at the
+host-link bandwidth.  The access-latency floor still applies once.
+
 All methods take explicit timestamps rather than reading a global clock,
 so callers (the pipelined executor in particular) can interleave CPU work
 and I/O deterministically.
@@ -26,36 +45,49 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 from ..errors import StorageError
+from ..utils.reservoir import LatencyReservoir
+from .commands import DeviceCommand, GatherCommand, ReadCommand
 from .profiles import SsdProfile
 
 
 @dataclass(frozen=True)
 class Completion:
-    """A finished read: which page, when submitted, when done."""
+    """A finished command: which page(s), when submitted, when done.
+
+    ``pages`` is 1 for an ordinary read; a gather completion covers all
+    the pages its command named (its ``page_id`` is the first of them).
+    """
 
     ticket: int
     page_id: int
     submitted_at_us: float
     completed_at_us: float
+    pages: int = 1
 
     @property
     def latency_us(self) -> float:
-        """Observed device latency of this read."""
+        """Observed device latency of this command."""
         return self.completed_at_us - self.submitted_at_us
 
 
 @dataclass
 class DeviceStats:
-    """Aggregate counters for one device."""
+    """Aggregate counters for one device.
+
+    ``latencies`` is a bounded uniform sample of per-command latencies
+    (:class:`~repro.utils.reservoir.LatencyReservoir`), not the full
+    stream — ``reads``/``total_latency_us`` stay exact.
+    """
 
     reads: int = 0
     bytes_read: int = 0
     total_latency_us: float = 0.0
     busy_until_us: float = 0.0
-    latencies: List[float] = field(default_factory=list)
+    gathers: int = 0
+    latencies: LatencyReservoir = field(default_factory=LatencyReservoir)
 
     def mean_latency_us(self) -> float:
         """Average read latency (0 when idle)."""
@@ -80,13 +112,18 @@ class SimulatedSsd:
 
     @property
     def inflight(self) -> int:
-        """Reads submitted but not yet polled."""
+        """Commands submitted but not yet polled."""
         return len(self._inflight)
 
     @property
     def queue_depth(self) -> int:
         """Submission-queue capacity (reads in flight before submit fails)."""
         return self.profile.queue_depth
+
+    @property
+    def submit_overhead_us(self) -> float:
+        """Host CPU charged per submitted command (executors consult this)."""
+        return self.profile.submit_overhead_us
 
     def submit_read(self, page_id: int, now_us: float) -> Completion:
         """Submit one page read at simulated time ``now_us``.
@@ -107,14 +144,86 @@ class SimulatedSsd:
         start = max(now_us, self._ready_at)
         self._ready_at = start + self._transfer_us
         completed = start + self.profile.read_latency_us
+        completion = self._retire(page_id, now_us, completed, pages=1)
+        self.stats.bytes_read += self.page_size
+        return completion
+
+    def submit_gather(
+        self, command: GatherCommand, now_us: float
+    ) -> Completion:
+        """Submit one in-device gather (NDP profiles only).
+
+        The device is occupied for the internal page moves, the
+        controller scan, and the payload's bus transfer; the completion
+        arrives an access latency after the occupied window starts.
+        """
+        profile = self.profile
+        if not profile.supports_gather:
+            raise StorageError(
+                f"profile {profile.name!r} has no gather engine; use an "
+                f"NdpSsdProfile for --device-command-path ndp"
+            )
+        if now_us < 0:
+            raise StorageError(f"time must be >= 0, got {now_us}")
+        if len(self._inflight) >= profile.queue_depth:
+            raise StorageError(
+                f"queue depth {profile.queue_depth} exceeded on "
+                f"{profile.name}"
+            )
+        media_us = profile.internal_transfer_time_us(
+            command.num_pages * self.page_size
+        )
+        scan_us = (
+            profile.gather_setup_us
+            + profile.scan_us_per_candidate * command.candidates
+        )
+        bus_us = profile.transfer_time_us(command.payload_bytes)
+        occupancy_us = media_us + scan_us + bus_us
+        start = max(now_us, self._ready_at)
+        self._ready_at = start + occupancy_us
+        completed = start + profile.read_latency_us + occupancy_us
+        completion = self._retire(
+            command.page_ids[0], now_us, completed, pages=command.num_pages
+        )
+        # Flash-side reads count per page; the bus only saw the payload.
+        self.stats.reads += command.num_pages - 1
+        self.stats.bytes_read += command.payload_bytes
+        self.stats.gathers += 1
+        return completion
+
+    def submit_batch(
+        self, commands: Sequence[DeviceCommand], now_us: float
+    ) -> List[Completion]:
+        """Submit a batch of commands at ``now_us``; one completion each.
+
+        A batch of :class:`~repro.ssd.commands.ReadCommand` is
+        bit-identical to the same ``submit_read`` calls in a loop —
+        the device's service model is untouched by batching.  The
+        caller must leave queue-depth headroom for the whole batch.
+        """
+        completions: List[Completion] = []
+        for command in commands:
+            if isinstance(command, ReadCommand):
+                completions.append(self.submit_read(command.page_id, now_us))
+            elif isinstance(command, GatherCommand):
+                completions.append(self.submit_gather(command, now_us))
+            else:
+                raise StorageError(
+                    f"unknown device command {type(command).__name__}"
+                )
+        return completions
+
+    def _retire(
+        self, page_id: int, now_us: float, completed: float, pages: int
+    ) -> Completion:
+        """Book one accepted command into the in-flight heap and stats."""
         ticket = self._next_ticket
         self._next_ticket += 1
-        completion = Completion(ticket, page_id, now_us, completed)
+        completion = Completion(ticket, page_id, now_us, completed, pages)
         heapq.heappush(
             self._inflight, (completed, ticket, completion)
         )
         self.stats.reads += 1
-        self.stats.bytes_read += self.page_size
         self.stats.total_latency_us += completion.latency_us
         self.stats.latencies.append(completion.latency_us)
         self.stats.busy_until_us = max(

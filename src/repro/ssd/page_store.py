@@ -126,6 +126,47 @@ def materialize_layout(
     return store, page_keys
 
 
+def gather_embeddings(
+    store: PageStore,
+    page_keys: List[Tuple[int, ...]],
+    page_ids: Iterable[int],
+    wanted: Iterable[int],
+    spec: EmbeddingSpec,
+) -> Tuple[Dict[int, np.ndarray], int]:
+    """In-device gather over ``page_ids``: parse pages, keep wanted keys.
+
+    The byte-level counterpart of the NDP timing model: the device reads
+    each page from media, scans its slots (``page_keys`` is the on-page
+    key order, the structure a RecSSD-style controller parses), and only
+    the embeddings of ``wanted`` keys are placed in the output buffer.
+
+    Returns ``(vectors, payload_bytes)`` — the gathered key → vector map
+    and the bytes that would cross the host bus (valid embeddings only,
+    versus ``pages × page_size`` on the classic path).  A key present on
+    several of the pages is delivered once, from the first page scanned.
+    """
+    remaining = set(wanted)
+    vectors: Dict[int, np.ndarray] = {}
+    for page_id in page_ids:
+        if not remaining:
+            break
+        if not 0 <= page_id < len(page_keys):
+            raise StorageError(
+                f"page id {page_id} outside the layout's "
+                f"{len(page_keys)} pages"
+            )
+        payload = store.read_page(page_id)
+        for slot, key in enumerate(page_keys[page_id]):
+            if key in remaining:
+                start = slot * spec.embedding_bytes
+                end = start + spec.embedding_bytes
+                vectors[key] = np.frombuffer(
+                    payload[start:end], dtype=np.float32
+                ).copy()
+                remaining.discard(key)
+    return vectors, len(vectors) * spec.embedding_bytes
+
+
 def extract_embedding(
     payload: bytes,
     page_keys: Iterable[int],

@@ -4,14 +4,21 @@ Figure 17b of the paper evaluates a RAID-0 of two P5800X drives.  Striping
 by page id spreads reads round-robin over members, so aggregate bandwidth
 scales with the member count while per-read latency stays that of a single
 drive.  The array exposes the same submit/poll interface as a single
-:class:`~repro.ssd.device.SimulatedSsd`, so serving code is agnostic.
+:class:`~repro.ssd.device.SimulatedSsd` — including the batched command
+path — so serving code is agnostic.
+
+``submit_batch`` routes each command to the member owning its stripe; a
+:class:`~repro.ssd.commands.GatherCommand` is split into per-member
+sub-gathers (each member parses its own pages with its own controller)
+and answered with one merged completion at the slowest member's time.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import StorageError
+from .commands import DeviceCommand, GatherCommand, ReadCommand
 from .device import Completion, DeviceStats, SimulatedSsd
 from .profiles import SsdProfile
 
@@ -52,9 +59,16 @@ class Raid0Array:
         member can still overflow that member's own queue below this
         aggregate.  Callers that need exactness should backpressure per
         member (the executors backpressure on the aggregate, which
-        suffices for round-robin-ish access).
+        suffices for round-robin-ish access).  Note also that a profile
+        pre-scaled to stand in for an array (``SsdProfile.scaled``)
+        carries a *single* drive's depth unless overridden there.
         """
         return min(m.queue_depth for m in self._members) * len(self._members)
+
+    @property
+    def submit_overhead_us(self) -> float:
+        """Host CPU per submitted command (same stack for every member)."""
+        return self.profile.submit_overhead_us
 
     def _member_for(self, page_id: int) -> SimulatedSsd:
         return self._members[page_id % len(self._members)]
@@ -63,6 +77,82 @@ class Raid0Array:
         """Submit a read to the member owning ``page_id``'s stripe."""
         self._stats_cache = None
         return self._member_for(page_id).submit_read(page_id, now_us)
+
+    def submit_gather(
+        self, command: GatherCommand, now_us: float
+    ) -> Completion:
+        """Execute a gather striped over the owning members.
+
+        Each member gathers its own pages (its controller scans a
+        proportional share of the candidates and delivers a proportional
+        share of the payload); the merged completion lands at the
+        slowest member's time, which is what the host observes.
+        """
+        self._stats_cache = None
+        by_member: Dict[int, List[int]] = {}
+        for page_id in command.page_ids:
+            by_member.setdefault(
+                page_id % len(self._members), []
+            ).append(page_id)
+        total_pages = command.num_pages
+        sub_completions: List[Completion] = []
+        candidates_left = command.candidates
+        payload_left = command.payload_bytes
+        wanted_left = command.wanted_keys
+        items = sorted(by_member.items())
+        for index, (member_index, pages) in enumerate(items):
+            if index == len(items) - 1:
+                candidates, payload, wanted = (
+                    candidates_left, payload_left, wanted_left
+                )
+            else:
+                share = len(pages) / total_pages
+                candidates = int(command.candidates * share)
+                payload = int(command.payload_bytes * share)
+                wanted = int(command.wanted_keys * share)
+                candidates_left -= candidates
+                payload_left -= payload
+                wanted_left -= wanted
+            sub = GatherCommand(
+                page_ids=tuple(pages),
+                wanted_keys=wanted,
+                candidates=candidates,
+                payload_bytes=payload,
+            )
+            sub_completions.append(
+                self._members[member_index].submit_gather(sub, now_us)
+            )
+        slowest = max(c.completed_at_us for c in sub_completions)
+        first = sub_completions[0]
+        if len(sub_completions) == 1:
+            return first
+        return Completion(
+            ticket=first.ticket,
+            page_id=command.page_ids[0],
+            submitted_at_us=now_us,
+            completed_at_us=slowest,
+            pages=total_pages,
+        )
+
+    def submit_batch(
+        self, commands: Sequence[DeviceCommand], now_us: float
+    ) -> List[Completion]:
+        """Submit a batch, striping each command; one completion each.
+
+        A batch of read commands is bit-identical to the same
+        ``submit_read`` calls in a loop.
+        """
+        completions: List[Completion] = []
+        for command in commands:
+            if isinstance(command, ReadCommand):
+                completions.append(self.submit_read(command.page_id, now_us))
+            elif isinstance(command, GatherCommand):
+                completions.append(self.submit_gather(command, now_us))
+            else:
+                raise StorageError(
+                    f"unknown device command {type(command).__name__}"
+                )
+        return completions
 
     def poll(self, now_us: float) -> List[Completion]:
         """Retire completed reads from every member."""
@@ -92,7 +182,7 @@ class Raid0Array:
         Memoized until the next ``submit_read``/``reset_stats``: member
         counters only change on submission, so repeated accesses (hot in
         per-query reporting loops) return the same aggregate instead of
-        re-extending every member's full latency list each time.
+        re-extending every member's full latency sample each time.
         """
         if self._stats_cache is None:
             total = DeviceStats()
@@ -103,6 +193,7 @@ class Raid0Array:
                 total.busy_until_us = max(
                     total.busy_until_us, member.stats.busy_until_us
                 )
+                total.gathers += member.stats.gathers
                 total.latencies.extend(member.stats.latencies)
             self._stats_cache = total
         return self._stats_cache

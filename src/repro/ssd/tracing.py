@@ -50,6 +50,25 @@ class TracingDevice:
 
     def submit_read(self, page_id: int, now_us: float) -> Completion:
         completion = self._device.submit_read(page_id, now_us)
+        self._record(page_id, now_us, completion)
+        return completion
+
+    def submit_batch(self, commands, now_us: float):
+        """Submit a command batch, recording one trace row per command.
+
+        Gather commands trace as one record on their first page (the
+        completion covers all of the gather's pages; ``Completion.pages``
+        carries the count for anyone re-deriving amplification).
+        """
+        completions = self._device.submit_batch(commands, now_us)
+        for completion in completions:
+            if isinstance(completion, Completion):
+                self._record(completion.page_id, now_us, completion)
+        return completions
+
+    def _record(
+        self, page_id: int, now_us: float, completion: Completion
+    ) -> None:
         if (
             self._max_records is None
             or len(self.records) < self._max_records
@@ -63,7 +82,6 @@ class TracingDevice:
             )
         else:
             self.dropped += 1
-        return completion
 
     def poll(self, now_us: float):
         return self._device.poll(now_us)
@@ -79,12 +97,24 @@ class TracingDevice:
         return self._device.stats
 
     @property
+    def profile(self):
+        return self._device.profile
+
+    @property
+    def page_size(self):
+        return self._device.page_size
+
+    @property
     def inflight(self) -> int:
         return self._device.inflight
 
     @property
     def queue_depth(self) -> int:
         return self._device.queue_depth
+
+    @property
+    def submit_overhead_us(self) -> float:
+        return getattr(self._device, "submit_overhead_us", 0.0)
 
     def reset_stats(self) -> None:
         self._device.reset_stats()
@@ -111,14 +141,10 @@ class TracingDevice:
         self, percentiles: Tuple[float, ...] = (50.0, 99.0)
     ) -> Dict[float, float]:
         """Observed device-latency percentiles."""
-        import numpy as np
+        from ..utils.reservoir import percentile
 
-        if not self.records:
-            return {p: 0.0 for p in percentiles}
-        latencies = np.array([r.latency_us for r in self.records])
-        return {
-            p: float(np.percentile(latencies, p)) for p in percentiles
-        }
+        latencies = [r.latency_us for r in self.records]
+        return {p: percentile(latencies, p) for p in percentiles}
 
     def queue_depth_timeline(self, bucket_us: float = 10.0) -> List[Tuple[float, int]]:
         """Mean in-flight reads per time bucket (from the trace)."""

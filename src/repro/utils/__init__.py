@@ -7,6 +7,7 @@ from .validation import (
     check_probability,
 )
 from .rng import make_rng, spawn_rngs
+from .reservoir import LatencyReservoir, percentile
 from .zipf import ZipfSampler, zipf_weights
 from .tables import format_table, format_series
 
@@ -17,6 +18,8 @@ __all__ = [
     "check_probability",
     "make_rng",
     "spawn_rngs",
+    "LatencyReservoir",
+    "percentile",
     "ZipfSampler",
     "zipf_weights",
     "format_table",

@@ -62,7 +62,9 @@ class TestProfiles:
         assert RAID0_2X_P5800X.read_latency_us == P5800X.read_latency_us
 
     def test_registry_contains_all(self):
-        assert set(PROFILES) == {"p5800x", "p4510", "raid0", "nand"}
+        assert set(PROFILES) == {
+            "p5800x", "p4510", "raid0", "nand", "p5800x-ndp"
+        }
         assert PROFILES["nand"] is GENERIC_NAND
 
     def test_transfer_time(self):
