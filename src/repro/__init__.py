@@ -23,6 +23,9 @@ from .cluster import (
     SHARD_STRATEGIES,
     ClusterEngine,
     ClusterReport,
+    HealthConfig,
+    ReplicaGroup,
+    ReplicaHealthMonitor,
     ShardPlan,
     ShardedLayout,
     build_sharded_layout,
@@ -47,6 +50,8 @@ from .errors import (
     PartitionError,
     PlacementError,
     RefreshError,
+    ReplicaExhaustedError,
+    ReplicaFault,
     ReproError,
     ServingError,
     ShardUnavailableError,
@@ -60,6 +65,7 @@ from .faults import (
     FaultPlan,
     FaultySsd,
     RefreshFaultPlan,
+    ShardFaultPlan,
 )
 from .refresh import (
     DriftWatcher,
@@ -147,6 +153,9 @@ __all__ = [
     "build_sharded_layout",
     "ClusterEngine",
     "ClusterReport",
+    "ReplicaGroup",
+    "ReplicaHealthMonitor",
+    "HealthConfig",
     "make_planner",
     "save_sharded_layout",
     "load_sharded_layout",
@@ -212,6 +221,7 @@ __all__ = [
     "BreakerConfig",
     "CircuitBreaker",
     "RefreshFaultPlan",
+    "ShardFaultPlan",
     # refresh
     "RefreshConfig",
     "RefreshDaemon",
@@ -252,4 +262,6 @@ __all__ = [
     "DeviceFault",
     "CorruptArtifactError",
     "ShardUnavailableError",
+    "ReplicaFault",
+    "ReplicaExhaustedError",
 ]

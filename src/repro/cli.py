@@ -203,6 +203,34 @@ def _add_serve(subparsers) -> None:
         "fragment slower than this is dropped (its keys go missing)",
     )
     p.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="engines per logical shard; >1 enables health-tracked "
+        "failover and hedged dispatch inside the gather (cluster "
+        "layouts only)",
+    )
+    p.add_argument(
+        "--hedge-quantile",
+        type=float,
+        default=None,
+        help="hedge a straggling fragment to a second replica once it "
+        "exceeds this quantile of recent latency (e.g. 0.95; default: "
+        "hedging off)",
+    )
+    p.add_argument(
+        "--hedge-budget",
+        type=float,
+        default=0.1,
+        help="hard cap on hedged dispatches per routed fragment",
+    )
+    p.add_argument(
+        "--shard-fault-plan",
+        default=None,
+        help="inject deterministic replica faults: a JSON plan file or "
+        "an inline spec like 'seed=7,crash=0.1,horizon_us=250'",
+    )
+    p.add_argument(
         "--offered-qps",
         type=float,
         default=None,
@@ -517,6 +545,23 @@ def _fault_options(args) -> dict:
     return options
 
 
+def _replica_options(args) -> dict:
+    """EngineConfig kwargs for the serve command's replica-group flags."""
+    options: dict = {}
+    if getattr(args, "replicas", 1) != 1:
+        options["replicas"] = args.replicas
+    if getattr(args, "hedge_quantile", None) is not None:
+        options["hedge_quantile"] = args.hedge_quantile
+        options["hedge_budget"] = args.hedge_budget
+    if getattr(args, "shard_fault_plan", None):
+        from .faults import ShardFaultPlan
+
+        options["shard_fault_plan"] = ShardFaultPlan.from_spec(
+            args.shard_fault_plan
+        )
+    return options
+
+
 def _device_options(args) -> dict:
     """EngineConfig kwargs for the serve command's device-path flags."""
     options: dict = {}
@@ -656,6 +701,7 @@ def _build_serve_engine(args):
                 f"{sharded.num_shards} shards"
             )
         engine_cls, layout = ClusterEngine, sharded
+        fault_options.update(_replica_options(args))
     else:
         engine_cls, layout = ServingEngine, load_layout(args.layout)
         fault_options.pop("shard_deadline_us", None)  # cluster-only knob
@@ -812,6 +858,7 @@ def _cmd_serve_cluster(args, trace) -> int:
             threads=args.threads,
             **_device_options(args),
             **_fault_options(args),
+            **_replica_options(args),
         ),
     )
     if args.offered_qps is not None:

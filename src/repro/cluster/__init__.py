@@ -11,6 +11,8 @@ scales with the shard count.
   bin packing, co-occurrence-aware hypergraph cut);
 * :mod:`.pipeline` — trace projection and per-shard offline placement;
 * :mod:`.router` — the scatter-gather :class:`ClusterEngine`;
+* :mod:`.replicas` — R-way replica groups with health-tracked failover
+  and hedged fragment dispatch;
 * :mod:`.stats` — shard-load, imbalance, and straggler metrics;
 * :mod:`.io` — sharded-layout persistence.
 """
@@ -28,6 +30,13 @@ from .pipeline import (
     ShardedLayout,
     build_sharded_layout,
     project_trace,
+)
+from .replicas import (
+    REPLICA_STATES,
+    HealthConfig,
+    HealthTransition,
+    ReplicaGroup,
+    ReplicaHealthMonitor,
 )
 from .router import ClusterEngine
 from .stats import ClusterReport
@@ -50,6 +59,11 @@ __all__ = [
     "project_trace",
     "ClusterEngine",
     "ClusterReport",
+    "ReplicaGroup",
+    "ReplicaHealthMonitor",
+    "HealthConfig",
+    "HealthTransition",
+    "REPLICA_STATES",
     "save_sharded_layout",
     "load_sharded_layout",
     "is_sharded_layout_file",

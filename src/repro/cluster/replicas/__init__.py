@@ -1,0 +1,39 @@
+"""Shard replica groups: health-tracked failover and hedged dispatch.
+
+The availability layer of the cluster: where PR 3's breakers *contain*
+a failing shard (keys go missing, the cluster survives), replica groups
+*mask* it — every logical shard is served by R full engines with
+independent simulated devices, a per-replica health state machine
+(healthy → suspect → dead → recovering) picks who serves, failed
+fragments fail over to survivors inside the gather, stragglers are
+hedged under a strict budget, and dead replicas resync through the
+staged-artifact path and rejoin via probe promotion.
+
+See :class:`ReplicaGroup` for the serving path and
+:class:`~repro.cluster.replicas.health.ReplicaHealthMonitor` for the
+state machine.
+"""
+
+from .group import ReplicaGroup
+from .health import (
+    DEAD,
+    HEALTHY,
+    RECOVERING,
+    REPLICA_STATES,
+    SUSPECT,
+    HealthConfig,
+    HealthTransition,
+    ReplicaHealthMonitor,
+)
+
+__all__ = [
+    "ReplicaGroup",
+    "ReplicaHealthMonitor",
+    "HealthConfig",
+    "HealthTransition",
+    "REPLICA_STATES",
+    "HEALTHY",
+    "SUSPECT",
+    "RECOVERING",
+    "DEAD",
+]

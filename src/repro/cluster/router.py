@@ -32,7 +32,17 @@ unit; page-level faults are handled inside each shard engine by
   a worker exception degrades the fragment instead of failing the query;
 * **strict mode** (no breaker) — a worker exception cancels the query's
   outstanding fragment futures and raises
-  :class:`~repro.errors.ShardUnavailableError` naming the failing shard.
+  :class:`~repro.errors.ShardUnavailableError` naming the failing shard;
+* **replica groups** — with ``config.replicas > 1`` (or a
+  ``config.shard_fault_plan`` to inject against) every shard becomes an
+  R-way :class:`~repro.cluster.replicas.ReplicaGroup`: fragments are
+  dispatched to the healthiest replica, fail over to survivors inside
+  the gather (keys are served, not reported missing), stragglers are
+  hedged under a budget, and dead replicas resync and rejoin via probe
+  promotion.  The group enforces the per-attempt deadline internally,
+  so the router's own deadline/timeout bookkeeping applies only to the
+  group-exhausted case; a fragment that needed failover may legally
+  finish *after* ``shard_deadline_us`` — latency paid, coverage kept.
 
 Overload behaviour: ``serve_query`` accepts a degradation-ladder rung
 (:class:`~repro.overload.DegradeLevel`).  The rung is forwarded to every
@@ -51,7 +61,11 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
-from ..errors import ServingError, ShardUnavailableError
+from ..errors import (
+    ReplicaExhaustedError,
+    ServingError,
+    ShardUnavailableError,
+)
 from ..faults import CircuitBreaker
 from ..placement import PageLayout
 from ..serving import EngineConfig, ServingEngine
@@ -62,6 +76,7 @@ from ..serving.stats import (
 )
 from ..types import Query, QueryTrace
 from .pipeline import ShardedLayout
+from .replicas import HealthConfig, ReplicaGroup
 from .stats import ClusterReport
 
 #: Per-shard gather outcomes recorded by :meth:`ClusterEngine._serve_scattered`.
@@ -76,7 +91,11 @@ class ClusterEngine:
     """Scatter-gather serving over per-shard engines and devices."""
 
     def __init__(
-        self, sharded: ShardedLayout, config: "EngineConfig | None" = None
+        self,
+        sharded: ShardedLayout,
+        config: "EngineConfig | None" = None,
+        replica_health: "HealthConfig | None" = None,
+        replica_staging_dir: "str | None" = None,
     ) -> None:
         self.sharded = sharded
         self.plan = sharded.plan
@@ -90,10 +109,34 @@ class ClusterEngine:
                 "explicit tier_plan is single-engine only; use tier_ratio "
                 "so each shard derives a shard-local plan"
             )
-        self.engines: List[ServingEngine] = [
-            ServingEngine(layout, self.config)
-            for layout in sharded.layouts
-        ]
+        # Replica groups are built only when they can do something —
+        # R > 1, or a shard fault plan to inject against.  Otherwise the
+        # unreplicated path below is byte-identical to earlier releases.
+        self._replica_health = replica_health
+        self._replica_staging_dir = replica_staging_dir
+        self.groups: Optional[List[ReplicaGroup]] = None
+        if (
+            self.config.replicas > 1
+            or self.config.shard_fault_plan is not None
+        ):
+            self.groups = [
+                ReplicaGroup(
+                    shard,
+                    layout,
+                    self.config,
+                    health=replica_health,
+                    staging_dir=replica_staging_dir,
+                )
+                for shard, layout in enumerate(sharded.layouts)
+            ]
+            self.engines: List[ServingEngine] = [
+                group.engines[0] for group in self.groups
+            ]
+        else:
+            self.engines = [
+                ServingEngine(layout, self.config)
+                for layout in sharded.layouts
+            ]
         self.breakers: Optional[List[CircuitBreaker]] = None
         if self.config.breaker is not None:
             self.breakers = [
@@ -171,14 +214,32 @@ class ClusterEngine:
                 f"new layout covers {layout.num_keys} keys, shard {shard} "
                 f"owns {expected}"
             )
-        replacement = ServingEngine(layout, self.config)
-        displaced = self.engines[shard]
-        if keep_cache:
-            replacement.cache = displaced.cache
-        self.engines[shard] = replacement
-        if self.breakers is not None:
-            self.breakers[shard] = CircuitBreaker(self.config.breaker)
-        displaced.close()
+        if self.groups is not None:
+            group = ReplicaGroup(
+                shard,
+                layout,
+                self.config,
+                health=self._replica_health,
+                staging_dir=self._replica_staging_dir,
+            )
+            displaced_group = self.groups[shard]
+            if keep_cache:
+                group.adopt_caches(displaced_group)
+            self.groups[shard] = group
+            replacement = group.engines[0]
+            self.engines[shard] = replacement
+            if self.breakers is not None:
+                self.breakers[shard] = CircuitBreaker(self.config.breaker)
+            displaced_group.close()
+        else:
+            replacement = ServingEngine(layout, self.config)
+            displaced = self.engines[shard]
+            if keep_cache:
+                replacement.cache = displaced.cache
+            self.engines[shard] = replacement
+            if self.breakers is not None:
+                self.breakers[shard] = CircuitBreaker(self.config.breaker)
+            displaced.close()
         self.swap_counts[shard] += 1
         self.swap_events.append(
             {"shard": shard, "keep_cache": keep_cache, "rolling": False}
@@ -210,8 +271,10 @@ class ClusterEngine:
                     f"shard {shard} out of range [0, {self.num_shards})"
                 )
         originals: Dict[int, ServingEngine] = {}
+        original_groups: Dict[int, ReplicaGroup] = {}
         original_breakers: Dict[int, CircuitBreaker] = {}
         installed: Dict[int, ServingEngine] = {}
+        installed_groups: Dict[int, ReplicaGroup] = {}
         try:
             for shard in sorted(layouts):
                 layout = layouts[shard]
@@ -221,32 +284,63 @@ class ClusterEngine:
                         f"new layout covers {layout.num_keys} keys, shard "
                         f"{shard} owns {expected}"
                     )
-                replacement = ServingEngine(layout, self.config)
-                displaced = self.engines[shard]
-                if keep_cache:
-                    replacement.cache = displaced.cache
-                originals[shard] = displaced
-                self.engines[shard] = replacement
-                installed[shard] = replacement
+                if self.groups is not None:
+                    group = ReplicaGroup(
+                        shard,
+                        layout,
+                        self.config,
+                        health=self._replica_health,
+                        staging_dir=self._replica_staging_dir,
+                    )
+                    displaced_group = self.groups[shard]
+                    if keep_cache:
+                        group.adopt_caches(displaced_group)
+                    original_groups[shard] = displaced_group
+                    originals[shard] = self.engines[shard]
+                    self.groups[shard] = group
+                    replacement = group.engines[0]
+                    self.engines[shard] = replacement
+                    installed[shard] = replacement
+                    installed_groups[shard] = group
+                else:
+                    replacement = ServingEngine(layout, self.config)
+                    displaced = self.engines[shard]
+                    if keep_cache:
+                        replacement.cache = displaced.cache
+                    originals[shard] = displaced
+                    self.engines[shard] = replacement
+                    installed[shard] = replacement
                 if self.breakers is not None:
                     original_breakers[shard] = self.breakers[shard]
                     self.breakers[shard] = CircuitBreaker(self.config.breaker)
                 if after_install is not None:
                     after_install(shard)
-        except Exception:
+        except Exception as exc:
             for shard, engine in originals.items():
                 self.engines[shard] = engine
+                if shard in original_groups:
+                    self.groups[shard] = original_groups[shard]
                 if self.breakers is not None:
                     self.breakers[shard] = original_breakers[shard]
-            for engine in installed.values():
-                engine.close()
+            for shard, engine in installed.items():
+                if shard in installed_groups:
+                    installed_groups[shard].close()
+                else:
+                    engine.close()
             self.swap_rollbacks += 1
             self.swap_events.append(
-                {"shards": sorted(layouts), "rolled_back": True}
+                {
+                    "shards": sorted(layouts),
+                    "rolled_back": True,
+                    "error": repr(exc),
+                }
             )
             raise
         for shard, engine in originals.items():
-            engine.close()
+            if shard in original_groups:
+                original_groups[shard].close()
+            else:
+                engine.close()
             self.swap_counts[shard] += 1
             self.swap_events.append(
                 {"shard": shard, "keep_cache": keep_cache, "rolling": True}
@@ -290,6 +384,12 @@ class ClusterEngine:
             degrade_shed_keys=n if shed else 0,
         )
 
+    def _fragment_server(self, shard: int):
+        """The callable serving one shard's fragments (replica-aware)."""
+        if self.groups is not None:
+            return self.groups[shard].serve
+        return self.engines[shard].serve_query
+
     def _gather(self, dispatch, start_us: float, degrade=None):
         """Run the dispatched fragments; return shard → result-or-exception.
 
@@ -313,7 +413,7 @@ class ClusterEngine:
                         (
                             shard,
                             pool.submit(
-                                self.engines[shard].serve_query,
+                                self._fragment_server(shard),
                                 fragment,
                                 start_us,
                                 *extra,
@@ -351,7 +451,7 @@ class ClusterEngine:
             ]
         for shard, fragment in dispatch:
             try:
-                raw[shard] = self.engines[shard].serve_query(
+                raw[shard] = self._fragment_server(shard)(
                     fragment, start_us, *extra
                 )
             except Exception as exc:  # noqa: BLE001 - rewrapped below
@@ -413,17 +513,33 @@ class ClusterEngine:
             else:
                 dispatch.append((shard, fragment))
         raw = self._gather(dispatch, start_us, degrade)
-        deadline = self.config.shard_deadline_us
+        # Replica groups enforce the per-attempt deadline internally (a
+        # failover legally finishes later than one deadline), so the
+        # router-side timeout check only applies to bare engines.
+        deadline = (
+            self.config.shard_deadline_us if self.groups is None else None
+        )
         for shard, fragment in dispatch:
             breaker = self.breakers[shard] if self.breakers else None
             outcome = raw[shard]
             if isinstance(outcome, Exception):
+                # A group exhausted by timeouts burned real simulated
+                # time (deadline waits) and maps onto the shard-timeout
+                # taxonomy; everything else is an instant shard error.
+                if (
+                    isinstance(outcome, ReplicaExhaustedError)
+                    and outcome.kind == "timeout"
+                ):
+                    finish = start_us + outcome.elapsed_us
+                    events[shard] = SHARD_TIMEOUT
+                else:
+                    finish = start_us
+                    events[shard] = SHARD_ERROR
                 sub_results[shard] = self._unserved_result(
-                    fragment, start_us, start_us
+                    fragment, start_us, finish
                 )
-                events[shard] = SHARD_ERROR
                 if breaker is not None:
-                    breaker.record_failure(start_us)
+                    breaker.record_failure(finish)
             elif deadline is not None and outcome.latency_us > deadline:
                 sub_results[shard] = self._unserved_result(
                     fragment, start_us, start_us + deadline
@@ -492,6 +608,9 @@ class ClusterEngine:
         shard_skipped = [0] * self.num_shards
         shard_errors = [0] * self.num_shards
         shard_shed = [0] * self.num_shards
+        shard_failovers = [0] * self.num_shards
+        shard_hedges = [0] * self.num_shards
+        shard_hedge_wins = [0] * self.num_shards
         fanouts: List[int] = []
         max_shard_latency: List[float] = []
         straggler: List[float] = []
@@ -519,6 +638,9 @@ class ClusterEngine:
                 shard_tier_hits[shard] += sub.tier_hits
                 shard_requested[shard] += sub.requested_keys
                 shard_missing[shard] += sub.missing_keys
+                shard_failovers[shard] += sub.failovers
+                shard_hedges[shard] += sub.hedges
+                shard_hedge_wins[shard] += sub.hedge_wins
                 latencies.append(sub.latency_us)
             for shard, event in events.items():
                 counter = event_counters.get(event)
@@ -538,6 +660,21 @@ class ClusterEngine:
         if self.breakers is not None:
             breaker_states = [b.state for b in self.breakers]
             breaker_transitions = [list(b.transitions) for b in self.breakers]
+        replica_states: List[List[str]] = []
+        replica_transitions: List[int] = []
+        replica_resyncs: List[int] = []
+        replica_probes: List[int] = []
+        shard_hedges_denied: List[int] = []
+        num_replicas = 1
+        if self.groups is not None:
+            num_replicas = self.config.replicas
+            replica_states = [list(g.monitor.states) for g in self.groups]
+            replica_transitions = [
+                len(g.monitor.transitions) for g in self.groups
+            ]
+            replica_resyncs = [g.resyncs for g in self.groups]
+            replica_probes = [g.probes for g in self.groups]
+            shard_hedges_denied = [g.hedges_denied for g in self.groups]
         return ClusterReport(
             report=report,
             num_shards=self.num_shards,
@@ -560,6 +697,15 @@ class ClusterEngine:
             breaker_transitions=breaker_transitions,
             shard_swaps=list(self.swap_counts),
             swap_rollbacks=self.swap_rollbacks,
+            num_replicas=num_replicas,
+            shard_failovers=shard_failovers,
+            shard_hedges=shard_hedges,
+            shard_hedge_wins=shard_hedge_wins,
+            shard_hedges_denied=shard_hedges_denied,
+            replica_states=replica_states,
+            replica_transitions=replica_transitions,
+            replica_resyncs=replica_resyncs,
+            replica_probes=replica_probes,
         )
 
     # -- introspection -----------------------------------------------------------
@@ -575,6 +721,39 @@ class ClusterEngine:
     def shard_device_stats(self) -> List[Optional[object]]:
         """Each shard device's :class:`~repro.ssd.device.DeviceStats`."""
         return [engine.device.stats for engine in self.engines]
+
+    def replica_info(self) -> Optional[dict]:
+        """Replica-group health and counters (None without groups).
+
+        The ``counters`` keys deliberately match the
+        :meth:`~repro.cluster.stats.ClusterReport.as_dict` field names,
+        so the live ``/metrics`` endpoint and persisted reports stay
+        field-compatible.
+        """
+        if self.groups is None:
+            return None
+        states = {state: 0 for state in ("healthy", "suspect",
+                                         "recovering", "dead")}
+        for group in self.groups:
+            for state, count in group.monitor.state_counts().items():
+                states[state] += count
+        return {
+            "num_replicas": self.config.replicas,
+            "counters": {
+                "failovers": sum(g.failovers for g in self.groups),
+                "hedges": sum(g.hedges for g in self.groups),
+                "hedge_wins": sum(g.hedge_wins for g in self.groups),
+                "hedges_denied": sum(
+                    g.hedges_denied for g in self.groups
+                ),
+                "replica_probes": sum(g.probes for g in self.groups),
+                "replica_resyncs": sum(g.resyncs for g in self.groups),
+                "replica_transitions": sum(
+                    len(g.monitor.transitions) for g in self.groups
+                ),
+            },
+            "states": states,
+        }
 
     def tier_info(self) -> Optional[dict]:
         """Cluster tier summary (None when no shard runs a DRAM tier)."""

@@ -58,6 +58,19 @@ class ClusterReport:
             (engine lifetime, not per trace; [] = pre-swap report).
         swap_rollbacks: rolling multi-shard swaps that failed and were
             rolled back over the engine's lifetime.
+        num_replicas: replicas per shard (1 = no replica groups).
+        shard_failovers: fragments each shard served from a surviving
+            replica after the primary attempt failed.
+        shard_hedges: hedged secondary dispatches issued per shard.
+        shard_hedge_wins: hedges that beat the primary per shard.
+        shard_hedges_denied: hedges suppressed by the budget per shard
+            ([] without replica groups).
+        replica_states: final health state of every replica, per shard
+            ([] without replica groups).
+        replica_transitions: health state-machine transitions per shard
+            over the group's lifetime.
+        replica_resyncs: dead-replica rebuilds per shard.
+        replica_probes: probe queries issued per shard.
     """
 
     report: ServingReport
@@ -81,6 +94,15 @@ class ClusterReport:
     breaker_transitions: List[List] = field(default_factory=list)
     shard_swaps: List[int] = field(default_factory=list)
     swap_rollbacks: int = 0
+    num_replicas: int = 1
+    shard_failovers: List[int] = field(default_factory=list)
+    shard_hedges: List[int] = field(default_factory=list)
+    shard_hedge_wins: List[int] = field(default_factory=list)
+    shard_hedges_denied: List[int] = field(default_factory=list)
+    replica_states: List[List[str]] = field(default_factory=list)
+    replica_transitions: List[int] = field(default_factory=list)
+    replica_resyncs: List[int] = field(default_factory=list)
+    replica_probes: List[int] = field(default_factory=list)
 
     # -- cluster-level convenience -------------------------------------------
 
@@ -165,6 +187,26 @@ class ClusterReport:
         """Breaker state changes across every shard."""
         return sum(len(t) for t in self.breaker_transitions)
 
+    # -- replica-group accounting ----------------------------------------------
+
+    def dead_replicas(self) -> int:
+        """Replicas finishing the trace in the ``dead`` state."""
+        return sum(states.count("dead") for states in self.replica_states)
+
+    def failover_rate(self) -> float:
+        """Failovers per routed sub-query (0.0 without replica groups)."""
+        fragments = sum(self.shard_queries)
+        if not fragments:
+            return 0.0
+        return sum(self.shard_failovers) / fragments
+
+    def hedge_rate(self) -> float:
+        """Hedges issued per routed sub-query (bounded by the budget)."""
+        fragments = sum(self.shard_queries)
+        if not fragments:
+            return 0.0
+        return sum(self.shard_hedges) / fragments
+
     def as_dict(self) -> Dict[str, float]:
         """Headline metrics for tables and CLI output."""
         return {
@@ -192,4 +234,15 @@ class ClusterReport:
             "breaker_transitions": self.total_breaker_transitions(),
             "shard_swaps": sum(self.shard_swaps),
             "swap_rollbacks": self.swap_rollbacks,
+            "replicas": self.num_replicas,
+            "failovers": sum(self.shard_failovers),
+            "failover_rate": round(self.failover_rate(), 6),
+            "hedges": sum(self.shard_hedges),
+            "hedge_wins": sum(self.shard_hedge_wins),
+            "hedges_denied": sum(self.shard_hedges_denied),
+            "hedge_rate": round(self.hedge_rate(), 6),
+            "replica_probes": sum(self.replica_probes),
+            "replica_resyncs": sum(self.replica_resyncs),
+            "replica_transitions": sum(self.replica_transitions),
+            "dead_replicas": self.dead_replicas(),
         }

@@ -62,6 +62,14 @@ class MaxEmbedConfig:
             served by its own engine and device (see :mod:`repro.cluster`).
         shard_strategy: key → shard planner: ``"modulo"``,
             ``"frequency"``, or ``"cooccurrence"``.
+        replicas: engines per logical shard; >1 turns on the
+            health-tracked replica groups of
+            :mod:`repro.cluster.replicas` (failover + hedging).
+        hedge_quantile: latency quantile after which a straggling
+            fragment is hedged to a second replica (``None`` disables
+            hedging; requires ``replicas > 1`` to have any effect).
+        hedge_budget: hedged dispatches allowed per routed fragment —
+            a hard cap, not a target.
         build_workers: processes for the per-shard offline builds
             (``None`` = one per shard up to the CPU count, ``0``/``1`` =
             serial).
@@ -105,6 +113,9 @@ class MaxEmbedConfig:
     cost_model: CpuCostModel = field(default_factory=CpuCostModel)
     num_shards: int = 1
     shard_strategy: str = "cooccurrence"
+    replicas: int = 1
+    hedge_quantile: Optional[float] = None
+    hedge_budget: float = 0.1
     build_workers: Optional[int] = None
     offline_path: str = "fast"
     offline_workers: Optional[int] = 1
@@ -146,6 +157,21 @@ class MaxEmbedConfig:
         if self.num_shards < 1:
             raise ConfigError(
                 f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.replicas < 1:
+            raise ConfigError(
+                f"replicas must be >= 1, got {self.replicas}"
+            )
+        if self.hedge_quantile is not None and not (
+            0.0 < self.hedge_quantile < 1.0
+        ):
+            raise ConfigError(
+                f"hedge_quantile must be in (0, 1), got "
+                f"{self.hedge_quantile}"
+            )
+        if self.hedge_budget < 0:
+            raise ConfigError(
+                f"hedge_budget must be >= 0, got {self.hedge_budget}"
             )
         if self.shard_strategy not in self._SHARD_STRATEGIES:
             raise ConfigError(

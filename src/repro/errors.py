@@ -103,6 +103,68 @@ class ShardUnavailableError(ServingError):
         self.shard = shard
 
 
+class ReplicaFault(ServingError):
+    """An injected replica-level fault (crash window or flap draw).
+
+    Raised by a :class:`~repro.cluster.replicas.ReplicaGroup` attempt
+    when the :class:`~repro.faults.ShardFaultPlan` says the targeted
+    replica is down; the group's failover loop catches it and retries
+    on the next-healthiest replica.
+
+    Attributes:
+        shard: logical shard the replica belongs to.
+        replica: replica index within the group.
+        kind: ``"crash"`` (inside a crash window) or ``"flap"``
+            (per-dispatch transient failure).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: int = 0,
+        replica: int = 0,
+        kind: str = "crash",
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.replica = replica
+        self.kind = kind
+
+
+class ReplicaExhaustedError(ServingError):
+    """Every replica of a shard failed to serve a fragment.
+
+    The replica group's failover loop ran out of candidates: each
+    live replica either raised or blew the per-attempt deadline.  The
+    router maps this onto the existing shard-grain outcome taxonomy
+    (``kind == "timeout"`` → ``SHARD_TIMEOUT``, else ``SHARD_ERROR``).
+
+    Attributes:
+        shard: logical shard whose group was exhausted.
+        kind: ``"timeout"`` when every attempt timed out, ``"error"``
+            otherwise.
+        attempts: replicas tried before giving up.
+        elapsed_us: simulated time burned across the failed attempts
+            (deadline waits; instant-failure attempts cost nothing).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        shard: "int | None" = None,
+        kind: str = "error",
+        attempts: int = 0,
+        elapsed_us: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.kind = kind
+        self.attempts = attempts
+        self.elapsed_us = elapsed_us
+
+
 class RefreshError(ServingError):
     """A refresh-daemon repair step failed (rebuild, staging, or swap).
 

@@ -11,7 +11,9 @@ device faults.  This package supplies the failure model:
 * :class:`FaultySsd` — a drop-in wrapper over any simulated page device
   that injects the plan at the submit/poll boundary;
 * :class:`CircuitBreaker` — the per-shard closed/open/half-open gate the
-  cluster router uses for degraded scatter-gather.
+  cluster router uses for degraded scatter-gather;
+* :class:`ShardFaultPlan` — seeded replica-grain crash/flap/degrade
+  schedules driving the replica-group chaos suite.
 
 Recovery itself (retries with backoff, replica-aware re-selection) lives
 in :mod:`repro.serving.recovery`, next to the executors it mirrors.
@@ -29,10 +31,12 @@ from .device import FaultySsd
 from .injector import FaultDecision, FaultInjector
 from .plan import FaultPlan
 from .refresh import RefreshFaultPlan
+from .shard import ShardFaultPlan
 
 __all__ = [
     "FaultPlan",
     "RefreshFaultPlan",
+    "ShardFaultPlan",
     "FaultInjector",
     "FaultDecision",
     "FaultySsd",

@@ -227,6 +227,7 @@ class GatewayCore:
             getattr(engine_cfg, "fault_plan", None) is not None
             or getattr(engine_cfg, "breaker", None) is not None
             or getattr(engine_cfg, "shard_deadline_us", None) is not None
+            or getattr(engine_cfg, "shard_fault_plan", None) is not None
         )
         # Engine work is serialized on one thread: the simulated device
         # is shared mutable state, and serve_trace's concurrency model is
@@ -245,6 +246,8 @@ class GatewayCore:
         self._batch_log: List[Tuple[str, int]] = []
         self._batches = 0
         self._batch_errors: List[str] = []
+        self._batch_errors_total = 0
+        self._last_batch_error = ""
         self._merged_batches = 0
         self._coalesced_queries = 0
         self._duplicate_keys_merged = 0
@@ -583,8 +586,10 @@ class GatewayCore:
             # fire-and-forget task would only warn at GC time.
             for entry in batch:
                 self._resolve_shed(entry, "error")
+            self._batch_errors_total += 1
+            self._last_batch_error = f"{type(exc).__name__}: {exc}"
             if len(self._batch_errors) < 16:
-                self._batch_errors.append(f"{type(exc).__name__}: {exc}")
+                self._batch_errors.append(self._last_batch_error)
         finally:
             self._in_flight -= 1
             if self._wake is not None:
@@ -751,8 +756,10 @@ class GatewayCore:
         engine-level trace report (tier/cache hit counters included),
         ``tier`` the pinned-DRAM-tier configuration when one is active,
         ``refresh`` the mounted refresh daemon's state and counters
-        (when one is mounted), and ``cluster`` per-shard device
-        counters when serving a sharded engine.
+        (when one is mounted), ``cluster`` per-shard device
+        counters when serving a sharded engine, and ``replicas``
+        replica-group health states and failover/hedge counters when
+        replica groups are active.
         """
         completed = len(self._results)
         shed_total = sum(self._shed.values())
@@ -769,6 +776,8 @@ class GatewayCore:
                 "in_flight_batches": self._in_flight,
                 "draining": self._draining,
                 "batch_errors": list(self._batch_errors),
+                "batch_errors_total": self._batch_errors_total,
+                "last_batch_error": self._last_batch_error,
                 "brownout_level": self.brownout_level,
                 "tenant_tokens": {
                     name: round(bucket.tokens, 3)
@@ -815,4 +824,9 @@ class GatewayCore:
                     getattr(s, "bytes_read", 0) for s in stats
                 ],
             }
+        replica_info = getattr(self.engine, "replica_info", None)
+        if callable(replica_info):
+            info = replica_info()
+            if info is not None:
+                data["replicas"] = info
         return data

@@ -21,9 +21,11 @@ import re
 from typing import Dict, Iterable, List, Tuple
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
-#: Dict sections whose keys are free-form identifiers (one sample per
-#: entry, keyed by label) rather than fixed schema fields.
-_LABELED_MAPS = ("tenant_tokens", "shed", "rungs")
+#: Dict sections whose keys are identifiers (one sample per entry,
+#: keyed by label) rather than fixed schema fields: free-form names
+#: (tenants, shed reasons, brownout rungs) and the replica health-state
+#: histogram (``maxembed_replicas_states{key="healthy"}``).
+_LABELED_MAPS = ("tenant_tokens", "shed", "rungs", "states")
 
 
 def _sanitize(part: str) -> str:

@@ -16,7 +16,7 @@ from typing import List, Optional, Sequence
 
 from ..cache import EmbeddingCache
 from ..errors import ServingError
-from ..faults import BreakerConfig, FaultPlan, FaultySsd
+from ..faults import BreakerConfig, FaultPlan, FaultySsd, ShardFaultPlan
 from ..overload import DegradeLevel
 from ..placement import PageLayout, build_indexes
 from ..ssd import (
@@ -93,6 +93,21 @@ class EngineConfig:
             (None = wait forever).  Ignored by single-shard engines.
         breaker: per-shard circuit-breaker configuration for cluster
             serving (None = no breaker).  Ignored by single engines.
+        replicas: replicas per logical shard for cluster serving
+            (1 = no replica groups, bit-identical to earlier releases).
+            Ignored by single engines.
+        hedge_quantile: latency quantile (in ``(0, 1)``) after which a
+            straggling fragment is hedged to a secondary replica; None
+            disables hedging.  Only meaningful with ``replicas > 1``.
+        hedge_budget: cap on hedged dispatches as a fraction of
+            dispatched fragments per replica group (the group maintains
+            ``hedges <= hedge_budget * fragments`` at all times, so
+            hedging cannot amplify overload).
+        shard_fault_plan: deterministic replica-grain fault schedule
+            (crash/flap/degrade) for cluster serving; None injects
+            nothing.  Setting it at ``replicas == 1`` exercises the
+            unprotected baseline: crashes cost coverage because there
+            is no surviving replica to fail over to.
         tier_mode: DRAM tier strategy — ``"lru"`` (reactive cache only,
             today's behavior), ``"pinned"`` (offline statistical hot set,
             LRU off: the whole DRAM key budget is the pinned tier), or
@@ -132,6 +147,10 @@ class EngineConfig:
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     shard_deadline_us: Optional[float] = None
     breaker: Optional[BreakerConfig] = None
+    replicas: int = 1
+    hedge_quantile: Optional[float] = None
+    hedge_budget: float = 0.1
+    shard_fault_plan: Optional[ShardFaultPlan] = None
     tier_mode: str = "lru"
     tier_ratio: float = 0.0
     tier_plan: Optional[TierPlan] = None
@@ -172,6 +191,21 @@ class EngineConfig:
             raise ServingError(
                 f"shard_deadline_us must be positive, got "
                 f"{self.shard_deadline_us}"
+            )
+        if self.replicas < 1:
+            raise ServingError(
+                f"replicas must be >= 1, got {self.replicas}"
+            )
+        if self.hedge_quantile is not None and not (
+            0.0 < self.hedge_quantile < 1.0
+        ):
+            raise ServingError(
+                f"hedge_quantile must be in (0, 1), got "
+                f"{self.hedge_quantile}"
+            )
+        if self.hedge_budget < 0.0:
+            raise ServingError(
+                f"hedge_budget must be >= 0, got {self.hedge_budget}"
             )
         if self.tier_mode not in TIER_MODES:
             raise ServingError(

@@ -45,6 +45,14 @@ class QueryResult:
         degrade_shed_keys: keys intentionally skipped by the degraded
             mode (a subset of ``missing_keys``; fault-path losses are
             the remainder).
+        failovers: replica attempts that failed before this result was
+            produced by a surviving replica (0 on the primary path).
+        hedges: hedged secondary dispatches issued for this query.
+        hedge_wins: hedged dispatches that beat the primary and became
+            the returned result.
+        served_by: provenance — ``(shard, replica)`` pairs that
+            produced each fragment of this result (empty outside
+            replica groups; merge concatenates).
     """
 
     requested_keys: int
@@ -62,6 +70,10 @@ class QueryResult:
     degrade_level: int = 0
     degrade_shed_keys: int = 0
     tier_hits: int = 0
+    failovers: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    served_by: tuple = ()
 
     @property
     def latency_us(self) -> float:
@@ -99,6 +111,9 @@ class ServingReport:
     total_degrade_shed_keys: int = 0
     degrade_level_hist: Dict[int, int] = field(default_factory=dict)
     total_tier_hits: int = 0
+    total_failovers: int = 0
+    total_hedges: int = 0
+    total_hedge_wins: int = 0
 
     # -- throughput / latency ------------------------------------------------
 
@@ -247,6 +262,9 @@ class ServingReport:
             "degraded_queries": self.degraded_queries,
             "degraded_mode_queries": self.degraded_mode_queries(),
             "degrade_shed_keys": self.total_degrade_shed_keys,
+            "failovers": self.total_failovers,
+            "hedges": self.total_hedges,
+            "hedge_wins": self.total_hedge_wins,
         }
 
 
@@ -299,6 +317,10 @@ def merge_shard_results(results: Sequence[QueryResult]) -> QueryResult:
         degrade_level=max(r.degrade_level for r in results),
         degrade_shed_keys=sum(r.degrade_shed_keys for r in results),
         tier_hits=sum(r.tier_hits for r in results),
+        failovers=sum(r.failovers for r in results),
+        hedges=sum(r.hedges for r in results),
+        hedge_wins=sum(r.hedge_wins for r in results),
+        served_by=tuple(p for r in results for p in r.served_by),
     )
 
 
@@ -339,6 +361,9 @@ def aggregate_results(
             report.degraded_queries += 1
         report.total_degrade_shed_keys += r.degrade_shed_keys
         report.total_tier_hits += r.tier_hits
+        report.total_failovers += r.failovers
+        report.total_hedges += r.hedges
+        report.total_hedge_wins += r.hedge_wins
         if r.degrade_level > 0:
             report.degrade_level_hist[r.degrade_level] = (
                 report.degrade_level_hist.get(r.degrade_level, 0) + 1

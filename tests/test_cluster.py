@@ -295,3 +295,54 @@ class TestClusterEngine:
         assert cluster.memory_overhead_entries() == sum(
             e.memory_overhead_entries() for e in cluster.engines
         )
+
+    def test_as_dict_json_round_trip(self, cluster, two_community_trace):
+        import json
+
+        report = cluster.serve_trace(two_community_trace)
+        data = report.as_dict()
+        assert json.loads(json.dumps(data)) == data
+        for key in (
+            "replicas",
+            "failovers",
+            "failover_rate",
+            "hedges",
+            "hedge_wins",
+            "hedges_denied",
+            "hedge_rate",
+            "replica_probes",
+            "replica_resyncs",
+            "replica_transitions",
+            "dead_replicas",
+        ):
+            assert key in data
+        assert data["replicas"] == 1
+        assert data["failovers"] == 0
+
+    def test_replica_info_counters_match_report_fields(
+        self, two_community_trace
+    ):
+        """Every live ``/metrics`` replica counter persists in as_dict.
+
+        The field-compatibility contract: a dashboard built on the
+        gateway's ``replica_info()`` counters can read historical
+        ``ClusterReport.as_dict()`` records under the same names.
+        """
+        config = MaxEmbedConfig(
+            num_shards=2,
+            shard_strategy="cooccurrence",
+            shp=ShpConfig(max_iterations=4),
+        )
+        sharded = build_sharded_layout(two_community_trace, config)
+        engine = ClusterEngine(
+            sharded, EngineConfig(cache_ratio=0.0, replicas=2)
+        )
+        report = engine.serve_trace(two_community_trace)
+        data = report.as_dict()
+        info = engine.replica_info()
+        assert info is not None
+        for counter, value in info["counters"].items():
+            assert counter in data
+            assert data[counter] == value
+        assert data["replicas"] == info["num_replicas"] == 2
+        assert sum(info["states"].values()) == 4  # 2 shards x 2 replicas

@@ -52,6 +52,13 @@ class TestRenderer:
         assert 'maxembed_tier_shard_hits{index="0"} 4' in text
         assert 'maxembed_tier_shard_hits{index="2"} 9' in text
 
+    def test_replica_state_histogram_gets_key_labels(self):
+        text = render_prometheus(
+            {"replicas": {"states": {"healthy": 3, "dead": 1}}}
+        )
+        assert 'maxembed_replicas_states{key="healthy"} 3' in text
+        assert 'maxembed_replicas_states{key="dead"} 1' in text
+
     def test_freeform_maps_get_key_labels(self):
         text = render_prometheus(
             {"service": {"shed": {"queue full": 2, "deadline": 1}}}

@@ -152,6 +152,87 @@ class TestInvariant:
         assert outcome.http_status() == 503
         assert metrics["service"]["shed"] == {"error": 1}
         assert "RuntimeError" in metrics["service"]["batch_errors"][0]
+        # The swallowed error is exported as a monotonic counter plus
+        # the last error string, so scrapers see failures the capped
+        # sample list would eventually hide.
+        assert metrics["service"]["batch_errors_total"] == 1
+        assert "RuntimeError" in metrics["service"]["last_batch_error"]
+
+    def test_replicated_cluster_exports_replica_section(self):
+        from repro import (
+            MaxEmbedConfig,
+            QueryTrace,
+            ShpConfig,
+            build_sharded_layout,
+        )
+        from repro.cluster import ClusterEngine
+        from repro.service import render_prometheus
+
+        trace = QueryTrace(
+            8, [Query((0, 1, 2, 3)), Query((4, 5, 6, 7))] * 4
+        )
+        config = MaxEmbedConfig(
+            num_shards=2,
+            shard_strategy="modulo",
+            shp=ShpConfig(max_iterations=2),
+        )
+        sharded = build_sharded_layout(trace, config)
+        cluster = ClusterEngine(
+            sharded, EngineConfig(cache_ratio=0.0, replicas=2)
+        )
+
+        async def scenario():
+            async with GatewayCore(cluster, ServiceConfig()) as core:
+                for query in trace.queries[:4]:
+                    await asyncio.wait_for(
+                        core.submit(tuple(query.keys)), timeout=5
+                    )
+                return check_invariant(core)
+
+        metrics = run(scenario())
+        section = metrics["replicas"]
+        assert section["num_replicas"] == 2
+        assert section["states"]["healthy"] == 4
+        for counter in (
+            "failovers",
+            "hedges",
+            "hedge_wins",
+            "hedges_denied",
+            "replica_probes",
+            "replica_resyncs",
+            "replica_transitions",
+        ):
+            assert counter in section["counters"]
+        text = render_prometheus(metrics)
+        assert 'maxembed_replicas_states{key="healthy"} 4' in text
+        assert "maxembed_replicas_counters_failovers 0" in text
+
+    def test_batch_errors_total_outlives_the_sample_cap(self, engine):
+        class ExplodingEngine(RecordingEngine):
+            def serve_query(self, query, start_us=0.0, degrade=None):
+                raise RuntimeError("device on fire")
+
+        from repro.service import render_prometheus
+
+        async def scenario():
+            config = ServiceConfig(
+                coalescer=CoalescerConfig(enabled=False)
+            )
+            core = GatewayCore(ExplodingEngine(engine), config)
+            async with core:
+                for _ in range(20):
+                    await asyncio.wait_for(core.submit((0,)), timeout=5)
+                metrics = check_invariant(core)
+            return metrics
+
+        metrics = run(scenario())
+        svc = metrics["service"]
+        # The sample list caps at 16; the counter keeps counting.
+        assert len(svc["batch_errors"]) == 16
+        assert svc["batch_errors_total"] == 20
+        assert "RuntimeError" in svc["last_batch_error"]
+        text = render_prometheus(metrics)
+        assert "maxembed_service_batch_errors_total 20" in text
 
     def test_deadline_miss_accounted(self, engine):
         async def scenario():
